@@ -1,0 +1,303 @@
+// Benchmarks regenerating the paper's evaluation (§6), one per figure, plus
+// ablation and substrate micro-benchmarks. Each figure bench runs the three
+// algorithms on a representative configuration of that figure's sweep at a
+// laptop-friendly scale; the full sweeps live in cmd/flowbench (use
+// -scale 1 there for the paper's 100k–1M sizes).
+package flowcube_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"flowcube/internal/cubing"
+	"flowcube/internal/datagen"
+	"flowcube/internal/flowgraph"
+	"flowcube/internal/hierarchy"
+	"flowcube/internal/mining"
+	"flowcube/internal/pathdb"
+	"flowcube/internal/transact"
+)
+
+// benchN is the path count used by the figure benches: 5% of the paper's
+// baseline 100k so that the full `go test -bench=.` run stays in minutes.
+const benchN = 5000
+
+type fixture struct {
+	ds   *datagen.Dataset
+	syms *transact.Symbols
+	txs  []transact.Transaction
+}
+
+var (
+	fixtures   = map[string]*fixture{}
+	fixtureMu  sync.Mutex
+	fixtureGen = map[string]func() datagen.Config{
+		"base": func() datagen.Config {
+			cfg := datagen.Default()
+			cfg.NumPaths = benchN
+			return cfg
+		},
+		"sparse10d": func() datagen.Config {
+			cfg := datagen.Default()
+			cfg.NumPaths = benchN
+			cfg.NumDims = 10
+			cfg.DimFanouts = [3]int{5, 5, 10}
+			cfg.DimSkew = 0.2
+			return cfg
+		},
+		"dense-items": func() datagen.Config {
+			cfg := datagen.Default()
+			cfg.NumPaths = benchN
+			cfg.DimFanouts = [3]int{2, 2, 5}
+			return cfg
+		},
+		"dense-paths": func() datagen.Config {
+			cfg := datagen.Default()
+			cfg.NumPaths = benchN
+			cfg.NumSequences = 10
+			return cfg
+		},
+	}
+)
+
+func getFixture(b *testing.B, name string) *fixture {
+	b.Helper()
+	fixtureMu.Lock()
+	defer fixtureMu.Unlock()
+	if f, ok := fixtures[name]; ok {
+		return f
+	}
+	gen, ok := fixtureGen[name]
+	if !ok {
+		b.Fatalf("unknown fixture %q", name)
+	}
+	ds := datagen.MustGenerate(gen())
+	syms := transact.MustNewSymbols(ds.Schema, ds.DefaultPlan())
+	f := &fixture{ds: ds, syms: syms, txs: syms.Encode(ds.DB)}
+	fixtures[name] = f
+	return f
+}
+
+func benchMine(b *testing.B, fixtureName string, opts mining.Options) {
+	f := getFixture(b, fixtureName)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := mining.Mine(f.syms, f.txs, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Aborted {
+			b.Fatalf("mining aborted by candidate limit")
+		}
+	}
+}
+
+func benchCubing(b *testing.B, fixtureName string, minSupport float64) {
+	f := getFixture(b, fixtureName)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cubing.Run(f.ds.DB, f.syms, mining.Options{MinSupport: minSupport}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func basicOpts(minSupport float64) mining.Options {
+	o := mining.BasicOptions(minSupport)
+	o.CandidateLimit = 5_000_000
+	return o
+}
+
+// Figure 6 — runtime vs database size (representative point N=5000, δ=1%).
+func BenchmarkFig6DatabaseSize(b *testing.B) {
+	b.Run("shared", func(b *testing.B) { benchMine(b, "base", mining.SharedOptions(0.01)) })
+	b.Run("cubing", func(b *testing.B) { benchCubing(b, "base", 0.01) })
+	b.Run("basic", func(b *testing.B) { benchMine(b, "base", basicOpts(0.01)) })
+}
+
+// Figure 7 — runtime vs minimum support: a low (1%) and high (2%) point.
+// The paper's full 0.3%–2% sweep is cmd/flowbench -fig 7; at 0.3% the
+// Basic baseline takes minutes even at this reduced scale, which is itself
+// the figure's point.
+func BenchmarkFig7MinSupport(b *testing.B) {
+	b.Run("shared/1%", func(b *testing.B) { benchMine(b, "base", mining.SharedOptions(0.01)) })
+	b.Run("shared/2%", func(b *testing.B) { benchMine(b, "base", mining.SharedOptions(0.02)) })
+	b.Run("cubing/1%", func(b *testing.B) { benchCubing(b, "base", 0.01) })
+	b.Run("cubing/2%", func(b *testing.B) { benchCubing(b, "base", 0.02) })
+	b.Run("basic/1%", func(b *testing.B) { benchMine(b, "base", basicOpts(0.01)) })
+	b.Run("basic/2%", func(b *testing.B) { benchMine(b, "base", basicOpts(0.02)) })
+}
+
+// Figure 8 — runtime vs dimensions (sparse, d=10 extreme).
+func BenchmarkFig8Dimensions(b *testing.B) {
+	b.Run("shared", func(b *testing.B) { benchMine(b, "sparse10d", mining.SharedOptions(0.01)) })
+	b.Run("cubing", func(b *testing.B) { benchCubing(b, "sparse10d", 0.01) })
+	b.Run("basic", func(b *testing.B) { benchMine(b, "sparse10d", basicOpts(0.01)) })
+}
+
+// Figure 9 — runtime vs item density (the densest dataset "a").
+func BenchmarkFig9ItemDensity(b *testing.B) {
+	b.Run("shared", func(b *testing.B) { benchMine(b, "dense-items", mining.SharedOptions(0.01)) })
+	b.Run("cubing", func(b *testing.B) { benchCubing(b, "dense-items", 0.01) })
+}
+
+// Figure 10 — runtime vs path density (10 distinct sequences, the dense
+// end; the paper could not run Basic here at all).
+func BenchmarkFig10PathDensity(b *testing.B) {
+	b.Run("shared", func(b *testing.B) { benchMine(b, "dense-paths", mining.SharedOptions(0.01)) })
+	b.Run("cubing", func(b *testing.B) { benchCubing(b, "dense-paths", 0.01) })
+}
+
+// Figure 11 — pruning power: the same mining run with and without
+// candidate pruning; compare with -benchtime and the reported candidate
+// counts from cmd/flowbench -fig 11.
+func BenchmarkFig11PruningPower(b *testing.B) {
+	b.Run("shared", func(b *testing.B) { benchMine(b, "base", mining.SharedOptions(0.01)) })
+	b.Run("basic", func(b *testing.B) { benchMine(b, "base", basicOpts(0.01)) })
+}
+
+// Ablation A1 — individual pruning rules.
+func BenchmarkAblationPruning(b *testing.B) {
+	variants := map[string]mining.Options{
+		"no-precount": {MinSupport: 0.01, PruneAncestor: true, PruneLink: true},
+		"no-link":     {MinSupport: 0.01, PruneAncestor: true, Precount: true},
+		"no-ancestor": {MinSupport: 0.01, PruneLink: true, Precount: true},
+	}
+	for name, opts := range variants {
+		opts.CandidateLimit = 5_000_000
+		b.Run(name, func(b *testing.B) { benchMine(b, "base", opts) })
+	}
+}
+
+// Ablation A2 — algebraic flowgraph merge (Lemma 4.2) vs path rescan.
+func BenchmarkAblationMerge(b *testing.B) {
+	f := getFixture(b, "base")
+	level := pathdb.PathLevel{
+		Cut:  hierarchy.LevelCut(f.ds.Schema.Location, f.ds.Schema.Location.Depth()),
+		Time: pathdb.TimeBase,
+	}
+	h := f.ds.Schema.Dims[0]
+	parts := map[hierarchy.NodeID][]pathdb.Path{}
+	var all []pathdb.Path
+	for _, r := range f.ds.DB.Records {
+		k := h.AncestorAt(r.Dims[0], 1)
+		parts[k] = append(parts[k], r.Path)
+		all = append(all, r.Path)
+	}
+	var children []*flowgraph.Graph
+	for _, paths := range parts {
+		children = append(children, flowgraph.Build(f.ds.Schema.Location, level, paths, nil))
+	}
+	b.Run("merge", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			g := flowgraph.New(f.ds.Schema.Location, level, nil)
+			for _, c := range children {
+				if err := g.Merge(c); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("rescan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			flowgraph.Build(f.ds.Schema.Location, level, all, nil)
+		}
+	})
+}
+
+// Ablation A6 — Cubing's per-cell engine.
+func BenchmarkAblationEngine(b *testing.B) {
+	b.Run("apriori", func(b *testing.B) { benchCubingEngine(b, cubing.EngineApriori) })
+	b.Run("fpgrowth", func(b *testing.B) { benchCubingEngine(b, cubing.EngineFPGrowth) })
+}
+
+func benchCubingEngine(b *testing.B, eng cubing.Engine) {
+	f := getFixture(b, "base")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cubing.RunEngine(f.ds.DB, f.syms, mining.Options{MinSupport: 0.01}, eng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Ablation A7 — Shared counting across workers.
+func BenchmarkAblationParallel(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			opts := mining.SharedOptions(0.01)
+			opts.Workers = workers
+			benchMine(b, "base", opts)
+		})
+	}
+}
+
+// Substrate micro-benchmarks.
+
+func BenchmarkEncodeTransaction(b *testing.B) {
+	f := getFixture(b, "base")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.syms.EncodeRecord(f.ds.DB.Records[i%f.ds.DB.Len()])
+	}
+}
+
+func BenchmarkFlowgraphBuild(b *testing.B) {
+	f := getFixture(b, "base")
+	level := pathdb.PathLevel{
+		Cut:  hierarchy.LevelCut(f.ds.Schema.Location, f.ds.Schema.Location.Depth()),
+		Time: pathdb.TimeBase,
+	}
+	var paths []pathdb.Path
+	for _, r := range f.ds.DB.Records {
+		paths = append(paths, r.Path)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		flowgraph.Build(f.ds.Schema.Location, level, paths, nil)
+	}
+}
+
+func BenchmarkFlowgraphSimilarity(b *testing.B) {
+	f := getFixture(b, "base")
+	level := pathdb.PathLevel{
+		Cut:  hierarchy.LevelCut(f.ds.Schema.Location, f.ds.Schema.Location.Depth()),
+		Time: pathdb.TimeBase,
+	}
+	var a, c []pathdb.Path
+	for i, r := range f.ds.DB.Records {
+		if i%2 == 0 {
+			a = append(a, r.Path)
+		} else {
+			c = append(c, r.Path)
+		}
+	}
+	ga := flowgraph.Build(f.ds.Schema.Location, level, a, nil)
+	gc := flowgraph.Build(f.ds.Schema.Location, level, c, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		flowgraph.Similarity(ga, gc)
+	}
+}
+
+func BenchmarkExceptionMining(b *testing.B) {
+	f := getFixture(b, "base")
+	level := pathdb.PathLevel{
+		Cut:  hierarchy.LevelCut(f.ds.Schema.Location, f.ds.Schema.Location.Depth()),
+		Time: pathdb.TimeBase,
+	}
+	var paths []pathdb.Path
+	for i, r := range f.ds.DB.Records {
+		if i == 1000 {
+			break
+		}
+		paths = append(paths, r.Path)
+	}
+	g := flowgraph.Build(f.ds.Schema.Location, level, paths, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.MineExceptions(paths, 0.1, 10)
+	}
+}

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFigureSmoke(t *testing.T) {
+	var out, errw bytes.Buffer
+	err := run([]string{
+		"-fig", "9", "-scale", "0.005", "-support-floor", "25",
+		"-algos", "shared", "-quiet",
+	}, &out, &errw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"# Figure 9", "shared", "a", "b", "c"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("figure output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestAblationSmoke(t *testing.T) {
+	var out, errw bytes.Buffer
+	err := run([]string{
+		"-ablation", "merge,counting", "-scale", "0.005", "-support-floor", "25", "-quiet",
+	}, &out, &errw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"A2:", "A3:", "algebraic merge", "candidate trie"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("ablation output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestSelectionErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-fig", "99"},
+		{"-ablation", "nosuch"},
+		{"-badflag"},
+	} {
+		var out, errw bytes.Buffer
+		if err := run(args, &out, &errw); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

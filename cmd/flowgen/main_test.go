@@ -1,0 +1,69 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"flowcube/internal/datagen"
+)
+
+func TestRunToStdout(t *testing.T) {
+	var out, errw bytes.Buffer
+	err := run([]string{"-n", "50", "-d", "2", "-sequences", "5"}, &out, &errw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := datagen.Read(&out)
+	if err != nil {
+		t.Fatalf("output not readable: %v", err)
+	}
+	if ds.DB.Len() != 50 {
+		t.Errorf("generated %d paths, want 50", ds.DB.Len())
+	}
+	if !strings.Contains(errw.String(), "wrote 50 paths") {
+		t.Errorf("status line missing: %q", errw.String())
+	}
+}
+
+func TestRunToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "paths.fdb")
+	var out, errw bytes.Buffer
+	if err := run([]string{"-n", "20", "-out", path}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 0 {
+		t.Errorf("file mode wrote to stdout")
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-fanouts", "1,2"},   // wrong arity
+		{"-fanouts", "a,b,c"}, // not ints
+		{"-seqlen", "9"},      // wrong arity
+		{"-loc-fanouts", "1"}, // wrong arity
+		{"-n", "0"},           // generator rejects
+		{"-nosuchflag"},       // flag error
+	}
+	for _, args := range cases {
+		var out, errw bytes.Buffer
+		if err := run(args, &out, &errw); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestDeterministicOutput(t *testing.T) {
+	var a, b, errw bytes.Buffer
+	if err := run([]string{"-n", "30", "-seed", "9"}, &a, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-n", "30", "-seed", "9"}, &b, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("same seed produced different files")
+	}
+}

@@ -1,0 +1,258 @@
+// Command flowquery materializes a flowcube over a generated path database
+// and inspects it: cube summaries, per-cell flowgraphs (with roll-up
+// inference for missing cells), exceptions, and Graphviz output. Cubes can
+// be serialized with -save and reopened with -load, skipping the build.
+//
+// Usage:
+//
+//	flowgen -n 20000 -out paths.fdb
+//	flowquery -in paths.fdb -summary
+//	flowquery -in paths.fdb -cell 'd0=d0.1,d1=*' -pathlevel 0
+//	flowquery -in paths.fdb -cell 'd0=d0.1.0.2' -exceptions
+//	flowquery -in paths.fdb -cell 'd0=*' -dot > apex.dot
+//	flowquery -in paths.fdb -save cube.fcb
+//	flowquery -in paths.fdb -load cube.fcb -summary
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"flowcube/internal/core"
+	"flowcube/internal/datagen"
+	"flowcube/internal/hierarchy"
+	"flowcube/internal/pathdb"
+	"flowcube/internal/pdfa"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "flowquery: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("flowquery", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	in := fs.String("in", "", "dataset file written by flowgen (required)")
+	minsup := fs.Float64("minsup", 0.01, "iceberg minimum support δ")
+	epsilon := fs.Float64("epsilon", 0.1, "minimum deviation ε for exceptions")
+	tau := fs.Float64("tau", 0, "similarity threshold τ (0 disables redundancy marking)")
+	exceptions := fs.Bool("exceptions", false, "mine and print flowgraph exceptions")
+	summary := fs.Bool("summary", false, "print cube summary statistics")
+	cellSpec := fs.String("cell", "", "cell to query: comma-separated dim=concept pairs ('*' for aggregated)")
+	pathLevel := fs.Int("pathlevel", 0, "path abstraction level index (0-3)")
+	dot := fs.Bool("dot", false, "emit the queried cell's flowgraph as Graphviz dot")
+	pdfaAlpha := fs.Float64("pdfa", -1, "also learn and print an ALERGIA PDFA over the whole database at this alpha (0 = no merging)")
+	top := fs.Int("top", 0, "list the N largest cells of the queried cuboid")
+	workers := fs.Int("workers", 1, "goroutines for flowgraph construction and exception mining")
+	saveCube := fs.String("save", "", "serialize the materialized cube to this file")
+	loadCube := fs.String("load", "", "load a cube serialized with -save instead of building")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *in == "" {
+		fs.Usage()
+		return fmt.Errorf("-in is required")
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	ds, err := datagen.Read(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "loaded %d paths, %d dimensions\n", ds.DB.Len(), len(ds.Schema.Dims))
+
+	var cube *core.Cube
+	if *loadCube != "" {
+		cf, err := os.Open(*loadCube)
+		if err != nil {
+			return err
+		}
+		cube, err = core.Load(cf)
+		cf.Close()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "loaded cube: %d cells\n", cube.NumCells())
+	} else {
+		cube, err = core.Build(ds.DB, core.Config{
+			MinSupport:            *minsup,
+			Epsilon:               *epsilon,
+			Tau:                   *tau,
+			Plan:                  ds.DefaultPlan(),
+			MineExceptions:        *exceptions,
+			SingleStageExceptions: *exceptions,
+			Workers:               *workers,
+		})
+		if err != nil {
+			return err
+		}
+	}
+	if *saveCube != "" {
+		cf, err := os.Create(*saveCube)
+		if err != nil {
+			return err
+		}
+		if err := cube.Save(cf); err != nil {
+			cf.Close()
+			return err
+		}
+		if err := cf.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "saved cube to %s\n", *saveCube)
+	}
+
+	if *summary || *cellSpec == "" {
+		printSummary(stdout, cube)
+	}
+	if *pdfaAlpha >= 0 {
+		var paths []pathdb.Path
+		for _, r := range ds.DB.Records {
+			paths = append(paths, r.Path)
+		}
+		a, err := pdfa.Learn(paths, pdfa.Options{Alpha: *pdfaAlpha})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "PDFA over %d paths (alpha=%g):\n%s", len(paths), *pdfaAlpha, a.String(ds.Schema.Location))
+	}
+	if *cellSpec != "" {
+		return queryCell(stdout, stderr, cube, ds, *cellSpec, *pathLevel, *dot, *exceptions, *top)
+	}
+	return nil
+}
+
+func printSummary(w io.Writer, cube *core.Cube) {
+	fmt.Fprintf(w, "flowcube: %d cuboids, %d cells, δ=%d paths\n",
+		len(cube.Cuboids), cube.NumCells(), cube.MinCount())
+	type row struct {
+		key   string
+		cells int
+	}
+	var rows []row
+	for k, cb := range cube.Cuboids {
+		if len(cb.Cells) > 0 {
+			rows = append(rows, row{k, len(cb.Cells)})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].cells != rows[j].cells {
+			return rows[i].cells > rows[j].cells
+		}
+		return rows[i].key < rows[j].key
+	})
+	fmt.Fprintln(w, "largest cuboids (item-levels@path-level: cells):")
+	for i, r := range rows {
+		if i >= 10 {
+			break
+		}
+		fmt.Fprintf(w, "  %-16s %6d\n", r.key, r.cells)
+	}
+	if cube.Mining != nil {
+		total := 0
+		for _, l := range cube.Mining.Levels {
+			total += l.Frequent
+		}
+		fmt.Fprintf(w, "mining: %d scans, %d frequent patterns, longest %d\n",
+			cube.Mining.Scans, total, cube.Mining.MaxLen())
+	}
+}
+
+func queryCell(stdout, stderr io.Writer, cube *core.Cube, ds *datagen.Dataset, spec string, pathLevel int, dot, exceptions bool, top int) error {
+	il := make(core.ItemLevel, len(ds.Schema.Dims))
+	values := make([]hierarchy.NodeID, len(ds.Schema.Dims))
+	for i := range values {
+		values[i] = hierarchy.Root
+	}
+	for _, pair := range strings.Split(spec, ",") {
+		name, concept, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok {
+			return fmt.Errorf("bad -cell entry %q, want dim=concept", pair)
+		}
+		d := ds.Schema.DimIndex(name)
+		if d < 0 {
+			return fmt.Errorf("unknown dimension %q", name)
+		}
+		if concept == "*" {
+			continue
+		}
+		id, ok := ds.Schema.Dims[d].Lookup(concept)
+		if !ok {
+			return fmt.Errorf("unknown concept %q in dimension %q", concept, name)
+		}
+		values[d] = id
+		il[d] = ds.Schema.Dims[d].Level(id)
+	}
+	cs := core.CuboidSpec{Item: il, PathLevel: pathLevel}
+
+	if top > 0 {
+		cb := cube.Cuboid(cs)
+		if cb == nil {
+			return fmt.Errorf("cuboid %s not materialized", cs.Key())
+		}
+		cells := cb.SortedCells()
+		sort.SliceStable(cells, func(i, j int) bool { return cells[i].Count > cells[j].Count })
+		fmt.Fprintf(stdout, "top cells of cuboid %s:\n", cs.Key())
+		for i, c := range cells {
+			if i >= top {
+				break
+			}
+			fmt.Fprintf(stdout, "  %v: %d paths\n", cellNames(ds, c.Values), c.Count)
+		}
+		return nil
+	}
+
+	g, src, exact, ok := cube.QueryGraph(cs, values)
+	if !ok {
+		return fmt.Errorf("no materialized cell answers %q (even by roll-up)", spec)
+	}
+	if !exact {
+		fmt.Fprintf(stderr, "cell below iceberg threshold; answered from ancestor %v (%d paths)\n",
+			cellNames(ds, src.Values), src.Count)
+	}
+	if dot {
+		fmt.Fprint(stdout, g.DOT(spec))
+		return nil
+	}
+	fmt.Fprint(stdout, g)
+	if exceptions {
+		fmt.Fprintf(stdout, "%d exceptions:\n", len(g.Exceptions()))
+		for i, x := range g.Exceptions() {
+			if i >= 20 {
+				fmt.Fprintf(stdout, "  ... and %d more\n", len(g.Exceptions())-20)
+				break
+			}
+			fmt.Fprintf(stdout, "  node %v cond %v support=%d devT=%.2f devD=%.2f\n",
+				prefixNames(ds, x.Node.Prefix()), x.Condition, x.Support,
+				x.TransitionDeviation, x.DurationDeviation)
+		}
+	}
+	return nil
+}
+
+func cellNames(ds *datagen.Dataset, values []hierarchy.NodeID) []string {
+	out := make([]string, len(values))
+	for i, v := range values {
+		out[i] = ds.Schema.Dims[i].Name(v)
+	}
+	return out
+}
+
+func prefixNames(ds *datagen.Dataset, prefix []hierarchy.NodeID) []string {
+	out := make([]string, len(prefix))
+	for i, v := range prefix {
+		out[i] = ds.Schema.Location.Name(v)
+	}
+	return out
+}

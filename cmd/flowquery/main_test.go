@@ -1,0 +1,133 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"flowcube/internal/datagen"
+)
+
+// writeDataset writes a small dataset file for the CLI tests.
+func writeDataset(t *testing.T) string {
+	t.Helper()
+	cfg := datagen.Default()
+	cfg.NumPaths = 300
+	cfg.NumDims = 2
+	cfg.NumSequences = 10
+	cfg.SeqLenMin, cfg.SeqLenMax = 3, 4
+	cfg.DurationDomain = 3
+	ds := datagen.MustGenerate(cfg)
+	path := filepath.Join(t.TempDir(), "paths.fdb")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ds.WriteTo(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestSummary(t *testing.T) {
+	path := writeDataset(t)
+	var out, errw bytes.Buffer
+	if err := run([]string{"-in", path, "-minsup", "0.05", "-summary"}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"flowcube:", "largest cuboids", "mining:"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("summary missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestCellQueryAndDot(t *testing.T) {
+	path := writeDataset(t)
+	var out, errw bytes.Buffer
+	if err := run([]string{"-in", path, "-minsup", "0.05", "-cell", "d0=*,d1=*"}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "flowgraph (300 paths") {
+		t.Errorf("apex query output unexpected:\n%s", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"-in", path, "-minsup", "0.05", "-cell", "d0=*", "-dot"}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out.String(), "digraph") {
+		t.Errorf("dot output unexpected:\n%.80s", out.String())
+	}
+}
+
+func TestTopCells(t *testing.T) {
+	path := writeDataset(t)
+	var out, errw bytes.Buffer
+	if err := run([]string{"-in", path, "-minsup", "0.05", "-cell", "d0=d0.0", "-top", "3"}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "top cells of cuboid") {
+		t.Errorf("top output unexpected:\n%s", out.String())
+	}
+}
+
+func TestSaveAndLoad(t *testing.T) {
+	path := writeDataset(t)
+	cubePath := filepath.Join(t.TempDir(), "cube.fcb")
+	var out, errw bytes.Buffer
+	if err := run([]string{"-in", path, "-minsup", "0.05", "-save", cubePath}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	built := out.String()
+	out.Reset()
+	errw.Reset()
+	if err := run([]string{"-in", path, "-load", cubePath}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errw.String(), "loaded cube") {
+		t.Errorf("load path not taken: %q", errw.String())
+	}
+	// Cell counts agree between built and loaded summaries (first line).
+	firstLine := func(s string) string { return strings.SplitN(s, "\n", 2)[0] }
+	if firstLine(built) != firstLine(out.String()) {
+		t.Errorf("summaries differ:\n%s\n%s", firstLine(built), firstLine(out.String()))
+	}
+}
+
+func TestErrors(t *testing.T) {
+	path := writeDataset(t)
+	cases := [][]string{
+		{},                                // missing -in
+		{"-in", "/nonexistent"},           // unreadable dataset
+		{"-in", path, "-cell", "bogus"},   // malformed cell
+		{"-in", path, "-cell", "nodim=x"}, // unknown dimension
+		{"-in", path, "-cell", "d0=nosuchconcept"}, // unknown concept
+		{"-in", path, "-load", "/nonexistent"},     // unreadable cube
+	}
+	for _, args := range cases {
+		var out, errw bytes.Buffer
+		if err := run(args, &out, &errw); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestPDFAOutput(t *testing.T) {
+	path := writeDataset(t)
+	var out, errw bytes.Buffer
+	if err := run([]string{"-in", path, "-minsup", "0.05", "-pdfa", "0.3", "-summary"}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "PDFA over 300 paths") || !strings.Contains(out.String(), "q0") {
+		t.Errorf("pdfa output missing:\n%s", out.String())
+	}
+	// A bad alpha propagates as an error.
+	if err := run([]string{"-in", path, "-pdfa", "1.5"}, &out, &errw); err == nil {
+		t.Errorf("bad alpha accepted")
+	}
+}

@@ -1,0 +1,231 @@
+// Retail: the paper's Figure-1 story — one commodity flow, two views.
+//
+// A nationwide retailer tracks items from factories through distribution
+// centers and trucks into store backrooms, shelves and checkout counters.
+// The same paths are analyzed at two path abstraction levels:
+//
+//   - the store manager's view keeps every in-store location at full detail
+//     and collapses transportation into one concept, while
+//   - the transportation manager's view keeps distribution centers and
+//     trucks at detail and collapses the store.
+//
+// The program generates a synthetic retail workload, builds one flowcube
+// materializing both views, and contrasts the two flowgraphs plus the
+// dwell-time summaries each manager cares about.
+//
+// Run with: go run ./examples/retail
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"flowcube"
+)
+
+func main() {
+	location := flowcube.NewHierarchy("location")
+	location.MustAddPath("factory", "assembly")
+	location.MustAddPath("factory", "packaging")
+	location.MustAddPath("transportation", "dc-east")
+	location.MustAddPath("transportation", "dc-west")
+	location.MustAddPath("transportation", "truck")
+	location.MustAddPath("store", "backroom")
+	location.MustAddPath("store", "shelf")
+	location.MustAddPath("store", "checkout")
+
+	product := flowcube.NewHierarchy("product")
+	product.MustAddPath("electronics", "audio", "headphones")
+	product.MustAddPath("electronics", "audio", "speakers")
+	product.MustAddPath("electronics", "video", "camera")
+	product.MustAddPath("clothing", "outerwear", "jacket")
+	product.MustAddPath("clothing", "shoes", "tennis")
+
+	region := flowcube.NewHierarchy("region")
+	region.MustAddPath("us", "east")
+	region.MustAddPath("us", "west")
+
+	schema := flowcube.MustNewSchema(location, product, region)
+	db := flowcube.NewDB(schema)
+	generateRetail(db, location, product, region, 5000)
+
+	// The two Figure-1 views as location cuts.
+	storeView, err := flowcube.CutByNames(location,
+		"factory", "transportation", "backroom", "shelf", "checkout")
+	if err != nil {
+		log.Fatal(err)
+	}
+	transportView, err := flowcube.CutByNames(location,
+		"factory", "dc-east", "dc-west", "truck", "store")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	plan := flowcube.Plan{PathLevels: []flowcube.PathLevel{
+		{Cut: storeView, Time: flowcube.TimeBase},     // path level 0
+		{Cut: transportView, Time: flowcube.TimeBase}, // path level 1
+	}}
+	cube, err := flowcube.Build(db, flowcube.Config{
+		MinSupport: 0.01,
+		Plan:       plan,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	apexValues := []flowcube.NodeID{flowcube.RootConcept, flowcube.RootConcept}
+	storeCell, _ := cube.Cell(flowcube.CuboidSpec{Item: flowcube.ItemLevel{0, 0}, PathLevel: 0}, apexValues)
+	transportCell, _ := cube.Cell(flowcube.CuboidSpec{Item: flowcube.ItemLevel{0, 0}, PathLevel: 1}, apexValues)
+
+	fmt.Println("=== Store manager's view (transportation collapsed) ===")
+	fmt.Print(storeCell.Graph)
+	fmt.Println("\n=== Transportation manager's view (store collapsed) ===")
+	fmt.Print(transportCell.Graph)
+
+	// The store manager asks: how long do items sit on the shelf, by
+	// product category?
+	fmt.Println("\n=== Mean shelf dwell by product category (store view) ===")
+	for _, cat := range []string{"electronics", "clothing"} {
+		spec := flowcube.CuboidSpec{Item: flowcube.ItemLevel{1, 0}, PathLevel: 0}
+		cell, ok := cube.Cell(spec, []flowcube.NodeID{product.MustLookup(cat), flowcube.RootConcept})
+		if !ok {
+			continue
+		}
+		shelf := findNode(cell.Graph.Root(), location.MustLookup("shelf"))
+		if shelf != nil {
+			fmt.Printf("%-12s %6.2f time units (%d items)\n", cat, shelf.Durations.Mean(), shelf.Count)
+		}
+	}
+
+	// The transportation manager asks: which distribution center is
+	// slower, and does it differ by region?
+	fmt.Println("\n=== Mean DC dwell by region (transportation view) ===")
+	for _, reg := range []string{"east", "west"} {
+		spec := flowcube.CuboidSpec{Item: flowcube.ItemLevel{0, 2}, PathLevel: 1}
+		cell, ok := cube.Cell(spec, []flowcube.NodeID{flowcube.RootConcept, region.MustLookup(reg)})
+		if !ok {
+			continue
+		}
+		for _, dc := range []string{"dc-east", "dc-west"} {
+			if n := findNode(cell.Graph.Root(), location.MustLookup(dc)); n != nil {
+				fmt.Printf("region %-6s %-8s %6.2f time units (%d items)\n",
+					reg, dc, n.Durations.Mean(), n.Count)
+			}
+		}
+	}
+
+	// Both views summarize the same paths: the path counts agree.
+	fmt.Printf("\nboth views summarize %d = %d paths\n", storeCell.Count, transportCell.Count)
+
+	// Intro question 3: contrast this year's flows with last year's. Last
+	// year the east DC cleared freight as fast as the west one; Contrast
+	// pinpoints where behaviour shifted.
+	lastYear := flowcube.NewDB(schema)
+	generateRetailBaseline(lastYear, location, product, region, 5000)
+	var currentPaths, baselinePaths []flowcube.Path
+	for _, r := range db.Records {
+		currentPaths = append(currentPaths, r.Path)
+	}
+	for _, r := range lastYear.Records {
+		baselinePaths = append(baselinePaths, r.Path)
+	}
+	level := flowcube.PathLevel{Cut: transportView, Time: flowcube.TimeBase}
+	cur := flowcube.BuildFlowgraph(location, level, currentPaths)
+	base := flowcube.BuildFlowgraph(location, level, baselinePaths)
+
+	fmt.Println("\n=== Year-over-year contrast (transportation view) ===")
+	for _, d := range flowcube.Contrast(cur, base, 3) {
+		names := make([]string, len(d.Prefix))
+		for i, l := range d.Prefix {
+			names[i] = location.Name(l)
+		}
+		fmt.Printf("at %v: mean stay %+.1f units (reach %.0f%%, duration deviation %.2f)\n",
+			names, d.DurationShift, 100*d.CurrentReach, d.DurationDeviation)
+	}
+}
+
+// generateRetailBaseline synthesizes last year's flows: identical to this
+// year's except the east DC was as fast as the west one.
+func generateRetailBaseline(db *flowcube.DB, location, product, region *flowcube.Hierarchy, n int) {
+	rng := rand.New(rand.NewSource(8))
+	products := []string{"headphones", "speakers", "camera", "jacket", "tennis"}
+	loc := func(name string) flowcube.NodeID { return location.MustLookup(name) }
+	for i := 0; i < n; i++ {
+		prod := products[rng.Intn(len(products))]
+		reg, dc := "east", "dc-east"
+		if rng.Intn(2) == 0 {
+			reg, dc = "west", "dc-west"
+		}
+		shelfDwell := 2 + rng.Int63n(3)
+		if prod == "headphones" || prod == "speakers" || prod == "camera" {
+			shelfDwell = 5 + rng.Int63n(5)
+		}
+		db.MustAppend(flowcube.Record{
+			Dims: []flowcube.NodeID{product.MustLookup(prod), region.MustLookup(reg)},
+			Path: flowcube.Path{
+				{Location: loc("assembly"), Duration: 1 + rng.Int63n(2)},
+				{Location: loc("packaging"), Duration: 1},
+				{Location: loc(dc), Duration: 1 + rng.Int63n(2)}, // both DCs fast
+				{Location: loc("truck"), Duration: 1 + rng.Int63n(2)},
+				{Location: loc("backroom"), Duration: 1 + rng.Int63n(3)},
+				{Location: loc("shelf"), Duration: shelfDwell},
+				{Location: loc("checkout"), Duration: 0},
+			},
+		})
+	}
+}
+
+// findNode locates the first node with the given location in a depth-first
+// walk; flows here visit each location at most once per path.
+func findNode(n *flowcube.FlowNode, loc flowcube.NodeID) *flowcube.FlowNode {
+	for _, c := range n.Children() {
+		if c.Location == loc {
+			return c
+		}
+		if found := findNode(c, loc); found != nil {
+			return found
+		}
+	}
+	return nil
+}
+
+// generateRetail synthesizes item movements: east-region items route
+// through dc-east (slow), west through dc-west (fast); electronics dwell
+// longer on shelves than clothing.
+func generateRetail(db *flowcube.DB, location, product, region *flowcube.Hierarchy, n int) {
+	rng := rand.New(rand.NewSource(7))
+	products := []string{"headphones", "speakers", "camera", "jacket", "tennis"}
+	loc := func(name string) flowcube.NodeID { return location.MustLookup(name) }
+	for i := 0; i < n; i++ {
+		prod := products[rng.Intn(len(products))]
+		reg := "east"
+		dc, dcDwell := "dc-east", 4+rng.Int63n(4) // the slow DC
+		if rng.Intn(2) == 0 {
+			reg = "west"
+			dc, dcDwell = "dc-west", 1+rng.Int63n(2)
+		}
+		shelfDwell := 2 + rng.Int63n(3) // clothing
+		if prod == "headphones" || prod == "speakers" || prod == "camera" {
+			shelfDwell = 5 + rng.Int63n(5) // electronics linger
+		}
+		p := flowcube.Path{
+			{Location: loc("assembly"), Duration: 1 + rng.Int63n(2)},
+			{Location: loc("packaging"), Duration: 1},
+			{Location: loc(dc), Duration: dcDwell},
+			{Location: loc("truck"), Duration: 1 + rng.Int63n(2)},
+			{Location: loc("backroom"), Duration: 1 + rng.Int63n(3)},
+			{Location: loc("shelf"), Duration: shelfDwell},
+		}
+		// Most items sell; a few go back to the backroom first.
+		if rng.Intn(10) == 0 {
+			p = append(p, flowcube.Stage{Location: loc("backroom"), Duration: 1})
+			p = append(p, flowcube.Stage{Location: loc("shelf"), Duration: 1 + rng.Int63n(2)})
+		}
+		p = append(p, flowcube.Stage{Location: loc("checkout"), Duration: 0})
+		db.MustAppend(flowcube.Record{
+			Dims: []flowcube.NodeID{product.MustLookup(prod), region.MustLookup(reg)},
+			Path: p,
+		})
+	}
+}

@@ -1,0 +1,84 @@
+package flowcube_test
+
+// Smoke tests keeping the example programs green: each one is compiled and
+// run, and its output checked for the markers that demonstrate the paper
+// behaviour it exists to show. They are skipped in -short mode (each run
+// builds and executes a full program).
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+func runExample(t *testing.T, name string) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("example smoke tests skipped in -short mode")
+	}
+	out, err := exec.Command("go", "run", "./examples/"+name).CombinedOutput()
+	if err != nil {
+		t.Fatalf("example %s failed: %v\n%s", name, err, out)
+	}
+	return string(out)
+}
+
+func TestExampleQuickstart(t *testing.T) {
+	out := runExample(t, "quickstart")
+	for _, want := range []string{
+		"Figure 3", "Figure 4", "Exceptions in (outerwear, nike)",
+		"query (sandals, nike): exact=false",
+		"Transportation view",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("quickstart output missing %q", want)
+		}
+	}
+}
+
+func TestExampleRetail(t *testing.T) {
+	out := runExample(t, "retail")
+	for _, want := range []string{
+		"Store manager's view", "Transportation manager's view",
+		"Mean shelf dwell", "Year-over-year contrast", "dc-east",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("retail output missing %q", want)
+		}
+	}
+	// The contrast must isolate the east DC slowdown as the top shift.
+	idx := strings.Index(out, "Year-over-year contrast")
+	tail := out[idx:]
+	if !strings.Contains(strings.SplitN(tail, "\n", 3)[1], "dc-east") {
+		t.Errorf("contrast did not rank the east DC first:\n%s", tail)
+	}
+}
+
+func TestExampleOutliers(t *testing.T) {
+	out := runExample(t, "outliers")
+	for _, want := range []string{
+		"Exceptions involving quality-control dwell",
+		"NON-REDUNDANT", "redundant (inferable from parent)",
+		"farm-a", "Drill-down",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("outliers output missing %q", want)
+		}
+	}
+	// Exactly one producer may be non-redundant: farm-a.
+	if strings.Count(out, "NON-REDUNDANT") != 1 {
+		t.Errorf("expected exactly one non-redundant producer:\n%s", out)
+	}
+}
+
+func TestExampleLeadtime(t *testing.T) {
+	out := runExample(t, "leadtime")
+	for _, want := range []string{
+		"cleaned: 1500 paths", "most typical paths",
+		"deviations that most increase lead time", "customs",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("leadtime output missing %q", want)
+		}
+	}
+}

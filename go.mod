@@ -1,0 +1,3 @@
+module flowcube
+
+go 1.22

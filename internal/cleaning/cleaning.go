@@ -1,0 +1,167 @@
+// Package cleaning implements the paper's §2 preprocessing stage: turning
+// a raw RFID reading stream into a path database.
+//
+// An RFID deployment emits tuples (EPC, location, time) — one per antenna
+// read, so a single item parked on a shelf produces hundreds of readings.
+// Cleaning groups the stream by EPC, orders each item's readings by time,
+// collapses consecutive readings at one location into a stage
+// (location, time_in, time_out), and finally discards absolute time in
+// favour of relative durations, optionally discretized to a coarser unit
+// (the paper: "duration may not need to be at the precision of seconds").
+package cleaning
+
+import (
+	"fmt"
+	"sort"
+
+	"flowcube/internal/hierarchy"
+	"flowcube/internal/pathdb"
+)
+
+// Reading is one raw tuple of the RFID stream. Time is in arbitrary ticks
+// (seconds in a live deployment); only differences matter downstream.
+type Reading struct {
+	EPC      string
+	Location hierarchy.NodeID
+	Time     int64
+}
+
+// TaggedItem carries the path-independent dimension values for one EPC,
+// joined from the deployment's product master data.
+type TaggedItem struct {
+	Dims []hierarchy.NodeID
+}
+
+// Options configures the cleaner.
+type Options struct {
+	// MaxGap is the largest time gap between consecutive readings at the
+	// same location that still counts as one uninterrupted stay. A gap
+	// larger than MaxGap splits the stay into two stages (the item left
+	// the antenna field and came back). Zero means never split.
+	MaxGap int64
+	// MinStay drops stages shorter than this many ticks — spurious reads
+	// from an adjacent antenna as the item passes by. Zero keeps all.
+	MinStay int64
+	// Unit discretizes durations by integer division (e.g. 3600 turns
+	// second ticks into whole hours). Zero or one keeps ticks.
+	Unit int64
+	// MinDuration is the duration recorded for a stage whose discretized
+	// duration would be zero; the paper's example paths use 0, so the
+	// default keeps zeros.
+	MinDuration int64
+}
+
+// Stage is an intermediate cleaned stage with absolute times, the
+// (location, time_in, time_out) form of §2.
+type Stage struct {
+	Location hierarchy.NodeID
+	TimeIn   int64
+	TimeOut  int64
+}
+
+// Sessionize groups one item's readings into stages. The readings may
+// arrive unordered; they are sorted by time first. Readings at the same
+// location within Options.MaxGap of each other extend the current stage.
+func Sessionize(readings []Reading, opts Options) []Stage {
+	if len(readings) == 0 {
+		return nil
+	}
+	sorted := append([]Reading(nil), readings...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Time < sorted[j].Time })
+
+	var stages []Stage
+	cur := Stage{Location: sorted[0].Location, TimeIn: sorted[0].Time, TimeOut: sorted[0].Time}
+	for _, r := range sorted[1:] {
+		sameLoc := r.Location == cur.Location
+		withinGap := opts.MaxGap <= 0 || r.Time-cur.TimeOut <= opts.MaxGap
+		if sameLoc && withinGap {
+			cur.TimeOut = r.Time
+			continue
+		}
+		stages = append(stages, cur)
+		cur = Stage{Location: r.Location, TimeIn: r.Time, TimeOut: r.Time}
+	}
+	stages = append(stages, cur)
+
+	if opts.MinStay > 0 {
+		kept := stages[:0]
+		for _, s := range stages {
+			if s.TimeOut-s.TimeIn >= opts.MinStay {
+				kept = append(kept, s)
+			}
+		}
+		stages = kept
+		// Dropping spurious stages can make two stays at one location
+		// adjacent again; merge them.
+		stages = mergeAdjacent(stages)
+	}
+	return stages
+}
+
+func mergeAdjacent(stages []Stage) []Stage {
+	if len(stages) < 2 {
+		return stages
+	}
+	out := stages[:1]
+	for _, s := range stages[1:] {
+		last := &out[len(out)-1]
+		if s.Location == last.Location {
+			last.TimeOut = s.TimeOut
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// ToPath converts cleaned stages into the relative-duration form the path
+// database stores, applying duration discretization.
+func ToPath(stages []Stage, opts Options) pathdb.Path {
+	unit := opts.Unit
+	if unit <= 0 {
+		unit = 1
+	}
+	p := make(pathdb.Path, 0, len(stages))
+	for _, s := range stages {
+		d := (s.TimeOut - s.TimeIn) / unit
+		if d < opts.MinDuration {
+			d = opts.MinDuration
+		}
+		p = append(p, pathdb.Stage{Location: s.Location, Duration: d})
+	}
+	return p
+}
+
+// Clean builds a path database from a raw reading stream. items supplies
+// the path-independent dimensions per EPC; EPCs missing from it are
+// reported in the returned error (the stream references an unregistered
+// tag, which a production pipeline must surface, not drop silently).
+// Items whose readings clean down to an empty path are skipped.
+func Clean(schema *pathdb.Schema, readings []Reading, items map[string]TaggedItem, opts Options) (*pathdb.DB, error) {
+	byEPC := make(map[string][]Reading)
+	var epcs []string
+	for _, r := range readings {
+		if _, seen := byEPC[r.EPC]; !seen {
+			epcs = append(epcs, r.EPC)
+		}
+		byEPC[r.EPC] = append(byEPC[r.EPC], r)
+	}
+	sort.Strings(epcs)
+
+	db := pathdb.New(schema)
+	for _, epc := range epcs {
+		item, ok := items[epc]
+		if !ok {
+			return nil, fmt.Errorf("cleaning: EPC %q has readings but no registered item", epc)
+		}
+		stages := Sessionize(byEPC[epc], opts)
+		path := ToPath(stages, opts)
+		if len(path) == 0 {
+			continue
+		}
+		if err := db.Append(pathdb.Record{Dims: item.Dims, Path: path}); err != nil {
+			return nil, fmt.Errorf("cleaning: EPC %q: %w", epc, err)
+		}
+	}
+	return db, nil
+}

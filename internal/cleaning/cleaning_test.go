@@ -1,0 +1,195 @@
+package cleaning_test
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"flowcube/internal/cleaning"
+	"flowcube/internal/hierarchy"
+	"flowcube/internal/pathdb"
+)
+
+func testLoc(t *testing.T) *hierarchy.Hierarchy {
+	t.Helper()
+	loc := hierarchy.New("location")
+	loc.MustAddPath("factory", "f")
+	loc.MustAddPath("transportation", "d")
+	loc.MustAddPath("store", "s")
+	return loc
+}
+
+func r(epc string, loc hierarchy.NodeID, ts ...int64) []cleaning.Reading {
+	out := make([]cleaning.Reading, len(ts))
+	for i, t := range ts {
+		out[i] = cleaning.Reading{EPC: epc, Location: loc, Time: t}
+	}
+	return out
+}
+
+func TestSessionizeCollapsesRuns(t *testing.T) {
+	loc := testLoc(t)
+	f, d := loc.MustLookup("f"), loc.MustLookup("d")
+	var readings []cleaning.Reading
+	readings = append(readings, r("a", f, 0, 5, 10)...)
+	readings = append(readings, r("a", d, 20, 22)...)
+	stages := cleaning.Sessionize(readings, cleaning.Options{})
+	if len(stages) != 2 {
+		t.Fatalf("got %d stages, want 2", len(stages))
+	}
+	if stages[0].Location != f || stages[0].TimeIn != 0 || stages[0].TimeOut != 10 {
+		t.Errorf("stage 0 = %+v", stages[0])
+	}
+	if stages[1].Location != d || stages[1].TimeIn != 20 || stages[1].TimeOut != 22 {
+		t.Errorf("stage 1 = %+v", stages[1])
+	}
+}
+
+func TestSessionizeUnorderedInput(t *testing.T) {
+	loc := testLoc(t)
+	f, d := loc.MustLookup("f"), loc.MustLookup("d")
+	readings := []cleaning.Reading{
+		{EPC: "a", Location: d, Time: 20},
+		{EPC: "a", Location: f, Time: 0},
+		{EPC: "a", Location: f, Time: 10},
+	}
+	stages := cleaning.Sessionize(readings, cleaning.Options{})
+	if len(stages) != 2 || stages[0].Location != f {
+		t.Fatalf("unordered input mis-sessionized: %+v", stages)
+	}
+}
+
+func TestSessionizeMaxGapSplits(t *testing.T) {
+	loc := testLoc(t)
+	f := loc.MustLookup("f")
+	readings := r("a", f, 0, 5, 100, 105) // gap of 95 between 5 and 100
+	stages := cleaning.Sessionize(readings, cleaning.Options{MaxGap: 50})
+	if len(stages) != 2 {
+		t.Fatalf("MaxGap did not split: %+v", stages)
+	}
+	all := cleaning.Sessionize(readings, cleaning.Options{})
+	if len(all) != 1 {
+		t.Fatalf("no MaxGap should keep one stage: %+v", all)
+	}
+}
+
+func TestMinStayDropsSpuriousAndRemerges(t *testing.T) {
+	loc := testLoc(t)
+	f, d := loc.MustLookup("f"), loc.MustLookup("d")
+	// A single spurious read at d (zero-length stay) interrupts a long
+	// stay at f; MinStay drops it and the two f stages merge back.
+	readings := []cleaning.Reading{
+		{EPC: "a", Location: f, Time: 0},
+		{EPC: "a", Location: f, Time: 10},
+		{EPC: "a", Location: d, Time: 11},
+		{EPC: "a", Location: f, Time: 12},
+		{EPC: "a", Location: f, Time: 30},
+	}
+	stages := cleaning.Sessionize(readings, cleaning.Options{MinStay: 2})
+	if len(stages) != 1 {
+		t.Fatalf("spurious read not removed: %+v", stages)
+	}
+	if stages[0].Location != f || stages[0].TimeOut != 30 {
+		t.Errorf("merged stage wrong: %+v", stages[0])
+	}
+}
+
+func TestToPathDiscretizes(t *testing.T) {
+	loc := testLoc(t)
+	f := loc.MustLookup("f")
+	stages := []cleaning.Stage{{Location: f, TimeIn: 0, TimeOut: 7200}}
+	p := cleaning.ToPath(stages, cleaning.Options{Unit: 3600})
+	if len(p) != 1 || p[0].Duration != 2 {
+		t.Fatalf("hour discretization wrong: %+v", p)
+	}
+	short := []cleaning.Stage{{Location: f, TimeIn: 0, TimeOut: 10}}
+	p2 := cleaning.ToPath(short, cleaning.Options{Unit: 3600, MinDuration: 1})
+	if p2[0].Duration != 1 {
+		t.Errorf("MinDuration floor not applied: %+v", p2)
+	}
+}
+
+func TestCleanEndToEnd(t *testing.T) {
+	loc := testLoc(t)
+	prod := hierarchy.New("product")
+	prod.MustAddPath("clothing", "shirt")
+	schema := pathdb.MustNewSchema(loc, prod)
+	f, d, s := loc.MustLookup("f"), loc.MustLookup("d"), loc.MustLookup("s")
+
+	var readings []cleaning.Reading
+	readings = append(readings, r("epc1", f, 0, 3600, 7200)...)
+	readings = append(readings, r("epc1", d, 10800, 14400)...)
+	readings = append(readings, r("epc1", s, 18000)...)
+	readings = append(readings, r("epc2", f, 100, 3700)...)
+
+	items := map[string]cleaning.TaggedItem{
+		"epc1": {Dims: []hierarchy.NodeID{prod.MustLookup("shirt")}},
+		"epc2": {Dims: []hierarchy.NodeID{prod.MustLookup("shirt")}},
+	}
+	db, err := cleaning.Clean(schema, readings, items, cleaning.Options{Unit: 3600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 2 {
+		t.Fatalf("cleaned %d items, want 2", db.Len())
+	}
+	want := "(f,2)(d,1)(s,0)"
+	if got := db.Records[0].Path.String(loc); got != want {
+		t.Errorf("epc1 path = %s, want %s", got, want)
+	}
+}
+
+func TestCleanRejectsUnregisteredEPC(t *testing.T) {
+	loc := testLoc(t)
+	prod := hierarchy.New("product")
+	prod.MustAddPath("clothing", "shirt")
+	schema := pathdb.MustNewSchema(loc, prod)
+	readings := r("ghost", loc.MustLookup("f"), 0, 10)
+	_, err := cleaning.Clean(schema, readings, nil, cleaning.Options{})
+	if err == nil || !strings.Contains(err.Error(), "ghost") {
+		t.Fatalf("unregistered EPC not reported: %v", err)
+	}
+}
+
+// Property: sessionizing any reading sequence produces stages with
+// non-decreasing, non-overlapping time ranges and no two consecutive
+// stages at the same location (when no MinStay filtering applies).
+func TestSessionizeProperty(t *testing.T) {
+	loc := testLoc(t)
+	leaves := loc.Leaves()
+	f := func(locIdx []uint8, times []int16) bool {
+		n := len(locIdx)
+		if len(times) < n {
+			n = len(times)
+		}
+		var readings []cleaning.Reading
+		for i := 0; i < n; i++ {
+			readings = append(readings, cleaning.Reading{
+				EPC:      "x",
+				Location: leaves[int(locIdx[i])%len(leaves)],
+				Time:     int64(times[i]),
+			})
+		}
+		stages := cleaning.Sessionize(readings, cleaning.Options{})
+		if len(readings) == 0 {
+			return stages == nil
+		}
+		for i, s := range stages {
+			if s.TimeOut < s.TimeIn {
+				return false
+			}
+			if i > 0 {
+				if stages[i-1].Location == s.Location {
+					return false
+				}
+				if s.TimeIn < stages[i-1].TimeOut {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,115 @@
+package core_test
+
+import (
+	"testing"
+
+	"flowcube/internal/core"
+	"flowcube/internal/flowgraph"
+	"flowcube/internal/hierarchy"
+	"flowcube/internal/paperex"
+	"flowcube/internal/pathdb"
+)
+
+func TestAppendUpdatesCells(t *testing.T) {
+	ex, cube := buildExample(t, core.Config{MinCount: 2})
+	spec := core.CuboidSpec{Item: core.ItemLevel{2, 2}, PathLevel: 0}
+	values := []hierarchy.NodeID{ex.Product.MustLookup("shoes"), ex.Brand.MustLookup("nike")}
+	before, _ := cube.Cell(spec, values)
+	countBefore := before.Count
+	pathsBefore := before.Graph.Paths()
+
+	rec := pathdb.Record{
+		Dims: []hierarchy.NodeID{ex.Product.MustLookup("tennis"), ex.Brand.MustLookup("nike")},
+		Path: pathdb.Path{
+			{Location: ex.Location.MustLookup("f"), Duration: 7},
+			{Location: ex.Location.MustLookup("s"), Duration: 2},
+		},
+	}
+	if err := cube.Append(rec); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := cube.Cell(spec, values)
+	if after.Count != countBefore+1 || after.Graph.Paths() != pathsBefore+1 {
+		t.Errorf("cell not updated: count %d→%d paths %d→%d",
+			countBefore, after.Count, pathsBefore, after.Graph.Paths())
+	}
+	// The apex cell updated too.
+	apex, _ := cube.Cell(core.CuboidSpec{Item: core.ItemLevel{0, 0}, PathLevel: 0},
+		[]hierarchy.NodeID{hierarchy.Root, hierarchy.Root})
+	if apex.Count != 9 {
+		t.Errorf("apex count = %d, want 9", apex.Count)
+	}
+	// Unrelated cells did not.
+	other, _ := cube.Cell(spec, []hierarchy.NodeID{
+		ex.Product.MustLookup("outerwear"), ex.Brand.MustLookup("nike"),
+	})
+	if other.Count != 3 {
+		t.Errorf("unrelated cell count changed to %d", other.Count)
+	}
+	if cube.StaleExceptions() != 1 {
+		t.Errorf("stale counter = %d, want 1", cube.StaleExceptions())
+	}
+}
+
+// TestAppendMatchesRebuild: for cells frequent in both, incremental append
+// must produce the same flowgraph as building from the extended database
+// (Lemma 4.2 in action).
+func TestAppendMatchesRebuild(t *testing.T) {
+	ex := paperex.New()
+	extra := pathdb.Record{
+		Dims: []hierarchy.NodeID{ex.Product.MustLookup("jacket"), ex.Brand.MustLookup("nike")},
+		Path: pathdb.Path{
+			{Location: ex.Location.MustLookup("f"), Duration: 10},
+			{Location: ex.Location.MustLookup("t"), Duration: 2},
+			{Location: ex.Location.MustLookup("w"), Duration: 3},
+		},
+	}
+
+	cfg := core.Config{MinCount: 2, Plan: examplePlan(ex)}
+	incremental, err := core.Build(ex.DB, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := incremental.Append(extra); err != nil {
+		t.Fatal(err)
+	}
+
+	ex2 := paperex.New()
+	ex2.DB.MustAppend(extra)
+	rebuilt, err := core.Build(ex2.DB, core.Config{MinCount: 2, Plan: examplePlan(ex2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	spec := core.CuboidSpec{Item: core.ItemLevel{2, 2}, PathLevel: 0}
+	values := []hierarchy.NodeID{ex.Product.MustLookup("outerwear"), ex.Brand.MustLookup("nike")}
+	a, okA := incremental.Cell(spec, values)
+	b, okB := rebuilt.Cell(spec, values)
+	if !okA || !okB {
+		t.Fatal("cell missing")
+	}
+	if a.Count != b.Count {
+		t.Fatalf("counts differ: %d vs %d", a.Count, b.Count)
+	}
+	if d := flowgraph.Divergence(a.Graph, b.Graph) + flowgraph.Divergence(b.Graph, a.Graph); d > 1e-12 {
+		t.Errorf("incremental and rebuilt graphs diverge by %g", d)
+	}
+}
+
+func TestAppendValidation(t *testing.T) {
+	ex, cube := buildExample(t, core.Config{MinCount: 2})
+	bad := []pathdb.Record{
+		{Dims: []hierarchy.NodeID{1}, Path: pathdb.Path{{Location: 1, Duration: 1}}},
+		{Dims: []hierarchy.NodeID{1, 1}, Path: nil},
+		{Dims: []hierarchy.NodeID{99, 1}, Path: pathdb.Path{{Location: 1, Duration: 1}}},
+	}
+	for i, r := range bad {
+		if err := cube.Append(r); err == nil {
+			t.Errorf("bad record %d accepted", i)
+		}
+	}
+	_ = ex
+	if cube.StaleExceptions() != 0 {
+		t.Errorf("failed appends must not mark staleness")
+	}
+}

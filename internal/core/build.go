@@ -1,0 +1,361 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"flowcube/internal/flowgraph"
+	"flowcube/internal/hierarchy"
+	"flowcube/internal/mining"
+	"flowcube/internal/pathdb"
+	"flowcube/internal/transact"
+)
+
+// Build materializes the iceberg flowcube for the path database under the
+// configuration: it encodes the database (§5 transaction transformation),
+// runs the Shared algorithm to find frequent cells and frequent path
+// segments at every materialized abstraction level, constructs a flowgraph
+// for every frequent cell of every requested cuboid, mines exceptions from
+// the frequent segments, and — when τ is set — marks redundant cells.
+func Build(db *pathdb.DB, cfg Config) (*Cube, error) {
+	syms, err := transact.NewSymbols(db.Schema, cfg.Plan)
+	if err != nil {
+		return nil, err
+	}
+	txs := syms.Encode(db)
+
+	mopts := mining.SharedOptions(cfg.MinSupport)
+	mopts.Workers = cfg.Workers
+	if cfg.MiningOptions != nil {
+		mopts = *cfg.MiningOptions
+	}
+	if cfg.MinCount > 0 {
+		mopts.MinCount = cfg.MinCount
+	}
+	res, err := mining.Mine(syms, txs, mopts)
+	if err != nil {
+		return nil, err
+	}
+	if res.Aborted {
+		return nil, fmt.Errorf("core: mining aborted by candidate limit; raise the limit or the minimum support")
+	}
+	minCount := res.MinCount
+
+	cube := &Cube{
+		Schema:   db.Schema,
+		Config:   cfg,
+		Symbols:  syms,
+		Mining:   res,
+		Cuboids:  make(map[string]*Cuboid),
+		minCount: minCount,
+	}
+
+	specs := cfg.Cuboids
+	if specs == nil {
+		specs = specsFromPlan(syms)
+	}
+	for _, spec := range specs {
+		if err := validateSpec(spec, syms, db.Schema); err != nil {
+			return nil, err
+		}
+		cube.Cuboids[spec.Key()] = &Cuboid{Spec: spec, Cells: make(map[string]*Cell)}
+	}
+
+	// Instantiate frequent cells from the mining output, and collect the
+	// exception conditions per cell from the mixed dim+stage itemsets.
+	conds := cube.instantiateCells(db, res)
+
+	// One scan of the path database assigns records to the cells of every
+	// materialized cuboid and folds their paths into the flowgraphs.
+	cube.populate(db)
+
+	if cfg.MineExceptions {
+		cube.mineExceptions(db, conds)
+	}
+	if cfg.Tau > 0 {
+		cube.MarkRedundancy(cfg.Tau)
+	}
+	return cube, nil
+}
+
+func validateSpec(spec CuboidSpec, syms *transact.Symbols, schema *pathdb.Schema) error {
+	if len(spec.Item) != len(schema.Dims) {
+		return fmt.Errorf("core: cuboid %s has %d item levels, schema has %d dimensions",
+			spec.Key(), len(spec.Item), len(schema.Dims))
+	}
+	if spec.PathLevel < 0 || spec.PathLevel >= len(syms.PathLevels()) {
+		return fmt.Errorf("core: cuboid %s references path level %d, plan has %d",
+			spec.Key(), spec.PathLevel, len(syms.PathLevels()))
+	}
+	dimLevels := syms.DimLevels()
+	for d, l := range spec.Item {
+		if l == 0 {
+			continue
+		}
+		ok := false
+		for _, ml := range dimLevels[d] {
+			if ml == l {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("core: cuboid %s uses unmaterialized level %d of dimension %q",
+				spec.Key(), l, schema.Dims[d].Dimension())
+		}
+	}
+	return nil
+}
+
+// cellConds accumulates exception conditions per cuboid-cell.
+type cellConds map[string]map[string][][]flowgraph.StagePin
+
+// instantiateCells creates the frequent cells of every materialized cuboid
+// from the mining result and returns the per-cell exception conditions.
+func (c *Cube) instantiateCells(db *pathdb.DB, res *mining.Result) cellConds {
+	syms := c.Symbols
+	m := len(db.Schema.Dims)
+	conds := make(cellConds)
+
+	// The apex item level (all '*') is frequent whenever the database is.
+	if int64(db.Len()) >= c.minCount {
+		values := make([]hierarchy.NodeID, m)
+		for i := range values {
+			values[i] = hierarchy.Root
+		}
+		c.addCell(apexLevel(m), values, int64(db.Len()))
+	}
+
+	for _, counted := range res.All() {
+		il, values, stages, ok := c.classify(counted.Set)
+		if !ok {
+			continue
+		}
+		if len(stages) == 0 {
+			// A pure item-dimension itemset is a frequent cell of the
+			// cuboid at its item level — for every path level.
+			c.addCell(il, values, counted.Count)
+			continue
+		}
+		// A mixed itemset is a frequent path segment within a cell: an
+		// exception condition, provided all stages sit at one path level.
+		level, pins, ok := stagePins(syms, stages)
+		if !ok {
+			continue
+		}
+		spec := CuboidSpec{Item: il, PathLevel: level}
+		cb := c.Cuboids[spec.Key()]
+		if cb == nil {
+			continue
+		}
+		key := cellKey(values)
+		if conds[spec.Key()] == nil {
+			conds[spec.Key()] = make(map[string][][]flowgraph.StagePin)
+		}
+		conds[spec.Key()][key] = append(conds[spec.Key()][key], pins)
+	}
+	return conds
+}
+
+func apexLevel(m int) ItemLevel {
+	il := make(ItemLevel, m)
+	return il
+}
+
+// classify splits a frequent itemset into its item-dimension part (at most
+// one value per dimension — sets violating that, which only the unpruned
+// Basic run produces, are skipped) and its stage part.
+func (c *Cube) classify(set []transact.Item) (ItemLevel, []hierarchy.NodeID, []transact.Item, bool) {
+	syms := c.Symbols
+	m := len(c.Schema.Dims)
+	il := make(ItemLevel, m)
+	values := make([]hierarchy.NodeID, m)
+	for i := range values {
+		values[i] = hierarchy.Root
+	}
+	var stages []transact.Item
+	for _, it := range set {
+		if syms.IsStage(it) {
+			stages = append(stages, it)
+			continue
+		}
+		d := syms.Dim(it)
+		if il[d] != 0 {
+			return nil, nil, nil, false // two values of one dimension
+		}
+		lvl := syms.Level(it)
+		if lvl == 0 {
+			continue // '*' item (Basic encoding); contributes nothing
+		}
+		il[d] = lvl
+		values[d] = syms.Node(it)
+	}
+	return il, values, stages, true
+}
+
+// stagePins converts an all-stage itemset into exception condition pins.
+// All stages must share one path level; conditions whose pins are all
+// duration-'*' are vacuous (the prefix tree already conditions on
+// locations) and rejected.
+func stagePins(syms *transact.Symbols, stages []transact.Item) (int, []flowgraph.StagePin, bool) {
+	level := syms.StageLevel(stages[0])
+	pins := make([]flowgraph.StagePin, 0, len(stages))
+	concrete := false
+	for _, st := range stages {
+		if syms.StageLevel(st) != level {
+			return 0, nil, false
+		}
+		seq := syms.StageSeq(st)
+		dur, hasDur := syms.StageDuration(st)
+		if hasDur {
+			concrete = true
+		}
+		pins = append(pins, flowgraph.StagePin{
+			Depth:    len(seq),
+			Location: seq[len(seq)-1],
+			Duration: dur,
+			DurAny:   !hasDur,
+		})
+	}
+	if !concrete {
+		return 0, nil, false
+	}
+	return level, pins, true
+}
+
+// addCell registers a frequent cell in every materialized cuboid sharing
+// its item level.
+func (c *Cube) addCell(il ItemLevel, values []hierarchy.NodeID, count int64) {
+	for pl := range c.Symbols.PathLevels() {
+		spec := CuboidSpec{Item: il, PathLevel: pl}
+		cb := c.Cuboids[spec.Key()]
+		if cb == nil {
+			continue
+		}
+		key := cellKey(values)
+		if _, dup := cb.Cells[key]; dup {
+			continue
+		}
+		cb.Cells[key] = &Cell{
+			Values:     append([]hierarchy.NodeID(nil), values...),
+			Count:      count,
+			Similarity: 1,
+		}
+	}
+}
+
+// populate assigns every record to its cell in every materialized cuboid
+// and builds the flowgraph measures.
+func (c *Cube) populate(db *pathdb.DB) {
+	type target struct {
+		cb     *Cuboid
+		levels ItemLevel
+	}
+	var targets []target
+	for _, cb := range c.Cuboids {
+		if len(cb.Cells) > 0 {
+			targets = append(targets, target{cb: cb, levels: cb.Spec.Item})
+		}
+	}
+	values := make([]hierarchy.NodeID, len(db.Schema.Dims))
+	for tid, rec := range db.Records {
+		for _, t := range targets {
+			for d, v := range rec.Dims {
+				if t.levels[d] == 0 {
+					values[d] = hierarchy.Root
+				} else {
+					values[d] = db.Schema.Dims[d].AncestorAt(v, t.levels[d])
+				}
+			}
+			cell, ok := t.cb.Cells[cellKey(values)]
+			if !ok {
+				continue
+			}
+			cell.tids = append(cell.tids, int32(tid))
+		}
+	}
+	type job struct {
+		cell *Cell
+		pl   pathdb.PathLevel
+	}
+	var jobs []job
+	for _, t := range targets {
+		pl := c.Symbols.PathLevels()[t.cb.Spec.PathLevel]
+		for _, cell := range t.cb.Cells {
+			jobs = append(jobs, job{cell: cell, pl: pl})
+		}
+	}
+	c.forEach(len(jobs), func(i int) {
+		j := jobs[i]
+		g := flowgraph.New(db.Schema.Location, j.pl, c.Config.Merge)
+		for _, tid := range j.cell.tids {
+			g.AddPath(db.Records[tid].Path)
+		}
+		j.cell.Graph = g
+	})
+}
+
+// forEach runs fn over [0,n) — concurrently when Config.Workers > 1. Each
+// index touches disjoint state (one cell), so no synchronization beyond
+// the join is needed.
+func (c *Cube) forEach(n int, fn func(i int)) {
+	workers := c.Config.Workers
+	if workers <= 1 || n < 2 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// mineExceptions runs the holistic part of the measure: per cell, check the
+// frequent-segment conditions (and optionally all single-stage conditions)
+// against the cell's paths. Cells are independent, so the work is spread
+// across Config.Workers.
+func (c *Cube) mineExceptions(db *pathdb.DB, conds cellConds) {
+	type job struct {
+		cell  *Cell
+		conds [][]flowgraph.StagePin
+	}
+	var jobs []job
+	for specKey, cb := range c.Cuboids {
+		for key, cell := range cb.Cells {
+			if cell.Graph == nil {
+				continue
+			}
+			jobs = append(jobs, job{cell: cell, conds: conds[specKey][key]})
+		}
+	}
+	c.forEach(len(jobs), func(i int) {
+		j := jobs[i]
+		paths := make([]pathdb.Path, len(j.cell.tids))
+		for k, tid := range j.cell.tids {
+			paths[k] = db.Records[tid].Path
+		}
+		if c.Config.SingleStageExceptions {
+			j.cell.Graph.MineExceptions(paths, c.Config.Epsilon, c.minCount)
+		}
+		if len(j.conds) > 0 {
+			j.cell.Graph.MineExceptionsFor(paths, j.conds, c.Config.Epsilon, c.minCount)
+		}
+	})
+}

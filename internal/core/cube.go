@@ -1,0 +1,217 @@
+// Package core assembles the paper's flowcube (§4): a collection of
+// cuboids, each characterized by an item abstraction level Il and a path
+// abstraction level Pl, whose cells carry flowgraph measures.
+//
+// Build drives the whole §5 pipeline: transaction encoding, the Shared
+// mining of frequent cells and frequent path segments at every materialized
+// abstraction level, flowgraph construction per frequent cell (the iceberg
+// condition, Definition 4.5), exception mining from the frequent segments,
+// and redundancy marking against item-lattice parents (Definition 4.4).
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"flowcube/internal/flowgraph"
+	"flowcube/internal/hierarchy"
+	"flowcube/internal/mining"
+	"flowcube/internal/pathdb"
+	"flowcube/internal/transact"
+)
+
+// ItemLevel is an item abstraction level: one hierarchy level per
+// path-independent dimension, 0 meaning the dimension is aggregated to '*'.
+type ItemLevel []int
+
+// Key returns a canonical identity string.
+func (il ItemLevel) Key() string {
+	parts := make([]string, len(il))
+	for i, l := range il {
+		parts[i] = fmt.Sprint(l)
+	}
+	return strings.Join(parts, ",")
+}
+
+// Dominates reports il ⪯ other in the item lattice: il is at least as
+// general in every dimension (the paper's n1 ⪯ n2 ordering).
+func (il ItemLevel) Dominates(other ItemLevel) bool {
+	for i := range il {
+		if il[i] > other[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// CuboidSpec identifies a cuboid ⟨Il, Pl⟩. PathLevel indexes the encoding
+// plan's path levels.
+type CuboidSpec struct {
+	Item      ItemLevel
+	PathLevel int
+}
+
+// Key returns a canonical identity string.
+func (cs CuboidSpec) Key() string {
+	return cs.Item.Key() + "@" + fmt.Sprint(cs.PathLevel)
+}
+
+// Cell is one flowcube cell: a combination of dimension values at the
+// cuboid's item level, measured by a flowgraph over the cell's paths
+// aggregated to the cuboid's path level.
+type Cell struct {
+	// Values holds one concept per dimension; hierarchy.Root for '*'.
+	Values []hierarchy.NodeID
+	// Count is the number of paths in the cell.
+	Count int64
+	// Graph is the flowgraph measure.
+	Graph *flowgraph.Graph
+	// Redundant marks cells whose flowgraph can be inferred from their
+	// item-lattice parents at the same path level (Definition 4.4); set by
+	// MarkRedundancy.
+	Redundant bool
+	// Similarity is the smallest parent similarity observed when marking
+	// redundancy (1 when the cell has no parents checked).
+	Similarity float64
+
+	tids []int32
+}
+
+// cellKey canonically encodes per-dimension values.
+func cellKey(values []hierarchy.NodeID) string {
+	var b strings.Builder
+	for i, v := range values {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", v)
+	}
+	return b.String()
+}
+
+// Cuboid is a materialized cuboid: its spec and frequent cells.
+type Cuboid struct {
+	Spec  CuboidSpec
+	Cells map[string]*Cell
+}
+
+// Cube is a materialized (iceberg, optionally non-redundant) flowcube.
+type Cube struct {
+	Schema  *pathdb.Schema
+	Config  Config
+	Symbols *transact.Symbols
+	// Mining is the Shared run that produced the cube; kept for
+	// inspection (candidate statistics, frequent segments).
+	Mining *mining.Result
+	// Cuboids maps CuboidSpec keys to materialized cuboids.
+	Cuboids map[string]*Cuboid
+
+	minCount int64
+	appended int64
+}
+
+// Config parameterizes Build.
+type Config struct {
+	// MinSupport is the iceberg threshold δ as a fraction of the database;
+	// MinCount overrides it with an absolute count.
+	MinSupport float64
+	MinCount   int64
+	// Epsilon is the minimum deviation ε for recording an exception.
+	Epsilon float64
+	// Tau is the similarity threshold τ above which a cell is redundant
+	// given its parents. Zero disables redundancy marking.
+	Tau float64
+	// Plan is the encoding/materialization plan (dimension levels and path
+	// levels). It must contain at least one path level.
+	Plan transact.Plan
+	// Cuboids restricts materialization to the listed cuboids (partial
+	// materialization, §5). Nil materializes every combination of the
+	// plan's dimension levels (plus '*') and path levels.
+	Cuboids []CuboidSpec
+	// MineExceptions controls whether flowgraph exceptions are computed.
+	// They are the holistic (expensive) part of the measure; benchmarks of
+	// the mining algorithms leave this off.
+	MineExceptions bool
+	// SingleStageExceptions additionally mines exceptions conditioned on
+	// every single prior stage duration (not only on frequent segments).
+	SingleStageExceptions bool
+	// Merge combines durations of stages merged during path aggregation.
+	Merge pathdb.DurationMerge
+	// MiningOptions overrides the algorithm configuration; zero value
+	// means SharedOptions(MinSupport).
+	MiningOptions *mining.Options
+	// Workers spreads flowgraph construction and exception mining across
+	// goroutines (cells are independent). It is also copied into the
+	// mining options when they are not overridden. 0 or 1 is sequential.
+	Workers int
+}
+
+// MinCount reports the absolute iceberg threshold used by the cube.
+func (c *Cube) MinCount() int64 { return c.minCount }
+
+// Cuboid returns a materialized cuboid, or nil.
+func (c *Cube) Cuboid(spec CuboidSpec) *Cuboid {
+	return c.Cuboids[spec.Key()]
+}
+
+// Cell resolves a cell by cuboid spec and per-dimension values (which must
+// already be at the spec's item level; '*' dimensions use hierarchy.Root).
+func (c *Cube) Cell(spec CuboidSpec, values []hierarchy.NodeID) (*Cell, bool) {
+	cb := c.Cuboids[spec.Key()]
+	if cb == nil {
+		return nil, false
+	}
+	cell, ok := cb.Cells[cellKey(values)]
+	return cell, ok
+}
+
+// Cells returns every materialized cell of a cuboid sorted by value key,
+// for deterministic iteration.
+func (cb *Cuboid) SortedCells() []*Cell {
+	keys := make([]string, 0, len(cb.Cells))
+	for k := range cb.Cells {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*Cell, len(keys))
+	for i, k := range keys {
+		out[i] = cb.Cells[k]
+	}
+	return out
+}
+
+// NumCells reports the total number of materialized cells across cuboids.
+func (c *Cube) NumCells() int {
+	n := 0
+	for _, cb := range c.Cuboids {
+		n += len(cb.Cells)
+	}
+	return n
+}
+
+// specsFromPlan enumerates every cuboid of the plan: the cross product of
+// per-dimension {'*'} ∪ materialized levels with the path levels.
+func specsFromPlan(syms *transact.Symbols) []CuboidSpec {
+	dimLevels := syms.DimLevels()
+	var items []ItemLevel
+	var rec func(d int, cur ItemLevel)
+	rec = func(d int, cur ItemLevel) {
+		if d == len(dimLevels) {
+			items = append(items, append(ItemLevel(nil), cur...))
+			return
+		}
+		rec(d+1, append(cur, 0))
+		for _, l := range dimLevels[d] {
+			rec(d+1, append(cur, l))
+		}
+	}
+	rec(0, nil)
+	var out []CuboidSpec
+	for pl := range syms.PathLevels() {
+		for _, il := range items {
+			out = append(out, CuboidSpec{Item: il, PathLevel: pl})
+		}
+	}
+	return out
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Partial materialization (§5). Even the iceberg, non-redundant flowcube
+// explodes combinatorially in high-dimensional path databases, so the
+// paper adopts the layered strategy of Han, Stefanovic & Koperski [11]:
+// materialize a *minimum interesting layer* (the most aggregated cuboid
+// analysts still find useful), an *observation layer* (where day-to-day
+// analysis happens), and a chain of cuboids along a popular drill path
+// between the two. PlanCuboids builds that cuboid list for Config.Cuboids.
+
+// LayerPlan describes a layered partial-materialization request.
+type LayerPlan struct {
+	// Minimum is the most aggregated item level to materialize.
+	Minimum ItemLevel
+	// Observation is the most detailed item level to materialize. Every
+	// dimension must be at least as deep as in Minimum.
+	Observation ItemLevel
+	// DrillOrder lists dimension indices in the order analysts typically
+	// drill down; the chain from Minimum to Observation deepens
+	// dimensions in this order. Nil means dimension order 0, 1, 2, ...
+	DrillOrder []int
+	// PathLevels selects which path abstraction levels to materialize at
+	// every chosen item level. Nil means every level of the plan.
+	PathLevels []int
+	// Extra adds ad-hoc popular cuboids on top of the chain.
+	Extra []CuboidSpec
+}
+
+// PlanCuboids expands a layered plan into the cuboid list for
+// Config.Cuboids. numPathLevels is the number of path levels in the
+// encoding plan (len(Plan.PathLevels)).
+func PlanCuboids(lp LayerPlan, numPathLevels int) ([]CuboidSpec, error) {
+	m := len(lp.Minimum)
+	if len(lp.Observation) != m {
+		return nil, fmt.Errorf("core: layer plan levels disagree on dimension count: %d vs %d",
+			m, len(lp.Observation))
+	}
+	if !lp.Minimum.Dominates(lp.Observation) {
+		return nil, fmt.Errorf("core: minimum layer %v must be an ancestor of observation layer %v",
+			lp.Minimum, lp.Observation)
+	}
+	order := lp.DrillOrder
+	if order == nil {
+		order = make([]int, m)
+		for i := range order {
+			order[i] = i
+		}
+	}
+	if len(order) != m {
+		return nil, fmt.Errorf("core: drill order has %d entries, want %d", len(order), m)
+	}
+	seen := make(map[int]bool, m)
+	for _, d := range order {
+		if d < 0 || d >= m || seen[d] {
+			return nil, fmt.Errorf("core: drill order %v is not a permutation of dimensions", order)
+		}
+		seen[d] = true
+	}
+	pathLevels := lp.PathLevels
+	if pathLevels == nil {
+		for pl := 0; pl < numPathLevels; pl++ {
+			pathLevels = append(pathLevels, pl)
+		}
+	}
+	for _, pl := range pathLevels {
+		if pl < 0 || pl >= numPathLevels {
+			return nil, fmt.Errorf("core: path level %d out of range [0,%d)", pl, numPathLevels)
+		}
+	}
+
+	// The chain: start at the minimum layer, deepen one dimension at a
+	// time (one level per step) in drill order until the observation
+	// layer is reached.
+	var items []ItemLevel
+	cur := append(ItemLevel(nil), lp.Minimum...)
+	items = append(items, append(ItemLevel(nil), cur...))
+	for _, d := range order {
+		for cur[d] < lp.Observation[d] {
+			cur[d]++
+			items = append(items, append(ItemLevel(nil), cur...))
+		}
+	}
+
+	var specs []CuboidSpec
+	for _, il := range items {
+		for _, pl := range pathLevels {
+			specs = append(specs, CuboidSpec{Item: il, PathLevel: pl})
+		}
+	}
+	specs = append(specs, lp.Extra...)
+	return dedupSpecs(specs), nil
+}
+
+func dedupSpecs(specs []CuboidSpec) []CuboidSpec {
+	sort.Slice(specs, func(i, j int) bool { return specs[i].Key() < specs[j].Key() })
+	out := specs[:0]
+	for i, s := range specs {
+		if i == 0 || s.Key() != specs[i-1].Key() {
+			out = append(out, s)
+		}
+	}
+	return out
+}

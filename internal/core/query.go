@@ -1,0 +1,134 @@
+package core
+
+import (
+	"flowcube/internal/flowgraph"
+	"flowcube/internal/hierarchy"
+)
+
+// Redundancy (paper §4.3, Definition 4.4) and querying with roll-up
+// inference: a cell whose flowgraph is similar (ϕ > τ) to every parent cell
+// in the item lattice — at the same path level — adds no information; a
+// non-redundant flowcube drops it and answers queries from the parent.
+
+// parentRefs enumerates the item-lattice parents of a cell: for each
+// dimension at a non-'*' level, the cell with that dimension generalized to
+// the previous materialized level (or '*').
+func (c *Cube) parentRefs(spec CuboidSpec, values []hierarchy.NodeID) [](struct {
+	Spec   CuboidSpec
+	Values []hierarchy.NodeID
+}) {
+	type ref = struct {
+		Spec   CuboidSpec
+		Values []hierarchy.NodeID
+	}
+	var out []ref
+	dimLevels := c.Symbols.DimLevels()
+	for d, l := range spec.Item {
+		if l == 0 {
+			continue
+		}
+		prev := 0
+		for _, ml := range dimLevels[d] {
+			if ml >= l {
+				break
+			}
+			prev = ml
+		}
+		pItem := append(ItemLevel(nil), spec.Item...)
+		pItem[d] = prev
+		pValues := append([]hierarchy.NodeID(nil), values...)
+		if prev == 0 {
+			pValues[d] = hierarchy.Root
+		} else {
+			pValues[d] = c.Schema.Dims[d].AncestorAt(values[d], prev)
+		}
+		out = append(out, ref{Spec: CuboidSpec{Item: pItem, PathLevel: spec.PathLevel}, Values: pValues})
+	}
+	return out
+}
+
+// MarkRedundancy walks every materialized cell and sets Cell.Redundant when
+// the cell's flowgraph is τ-similar to all of its materialized item-lattice
+// parents (and at least one parent exists). It records the weakest parent
+// similarity in Cell.Similarity and returns the number of redundant cells.
+func (c *Cube) MarkRedundancy(tau float64) int {
+	n := 0
+	for _, cb := range c.Cuboids {
+		for _, cell := range cb.Cells {
+			if cell.Graph == nil {
+				continue
+			}
+			parents := c.parentRefs(cb.Spec, cell.Values)
+			compared := 0
+			minSim := 1.0
+			for _, p := range parents {
+				pc, ok := c.Cell(p.Spec, p.Values)
+				if !ok || pc.Graph == nil {
+					continue
+				}
+				compared++
+				if sim := flowgraph.Similarity(cell.Graph, pc.Graph); sim < minSim {
+					minSim = sim
+				}
+			}
+			cell.Similarity = minSim
+			cell.Redundant = compared > 0 && minSim > tau
+			if cell.Redundant {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Compress removes redundant cells from the cube, yielding the paper's
+// non-redundant flowcube. It returns the number of cells removed.
+// MarkRedundancy (or Build with Tau > 0) must have run first.
+func (c *Cube) Compress() int {
+	n := 0
+	for _, cb := range c.Cuboids {
+		for key, cell := range cb.Cells {
+			if cell.Redundant {
+				delete(cb.Cells, key)
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// QueryGraph answers a flowgraph query for a cell, following the
+// non-redundant cube's inference rule: when the requested cell is absent
+// (compressed away, or below the iceberg threshold) the nearest materialized
+// ancestor's flowgraph is returned. exact reports whether the cell itself
+// answered. The search ascends the item lattice breadth-first, so the
+// closest ancestors are preferred.
+func (c *Cube) QueryGraph(spec CuboidSpec, values []hierarchy.NodeID) (g *flowgraph.Graph, source *Cell, exact, ok bool) {
+	if cell, found := c.Cell(spec, values); found && cell.Graph != nil && !cell.Redundant {
+		return cell.Graph, cell, true, true
+	}
+	type ref struct {
+		spec   CuboidSpec
+		values []hierarchy.NodeID
+	}
+	frontier := []ref{{spec, values}}
+	seen := map[string]bool{spec.Key() + "|" + cellKey(values): true}
+	for len(frontier) > 0 {
+		var next []ref
+		for _, r := range frontier {
+			for _, p := range c.parentRefs(r.spec, r.values) {
+				k := p.Spec.Key() + "|" + cellKey(p.Values)
+				if seen[k] {
+					continue
+				}
+				seen[k] = true
+				if cell, found := c.Cell(p.Spec, p.Values); found && cell.Graph != nil && !cell.Redundant {
+					return cell.Graph, cell, false, true
+				}
+				next = append(next, ref{p.Spec, p.Values})
+			}
+		}
+		frontier = next
+	}
+	return nil, nil, false, false
+}

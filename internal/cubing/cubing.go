@@ -1,0 +1,252 @@
+// Package cubing implements the paper's Algorithm 2 — the cubing-based
+// competitor to Shared. It splits the path database into the item
+// dimensions Di and the paths Dp, computes a BUC-style iceberg cube over Di
+// whose cell measure is the list of transaction identifiers aggregated in
+// the cell, and then runs an independent Apriori over the encoded paths of
+// each frequent cell.
+//
+// The cube is computed from high abstraction levels toward low ones so that
+// an infrequent high-level cell prunes all of its specializations, which is
+// the property the paper requires of the cubing algorithm. What Algorithm 2
+// cannot do — and what the evaluation measures — is prune by the *path*
+// lattice: a path stage found infrequent at a high level is regenerated and
+// recounted as a candidate in every cell.
+package cubing
+
+import (
+	"sort"
+
+	"flowcube/internal/fpgrowth"
+	"flowcube/internal/hierarchy"
+	"flowcube/internal/itemset"
+	"flowcube/internal/mining"
+	"flowcube/internal/pathdb"
+	"flowcube/internal/transact"
+)
+
+// Engine selects the per-cell frequent-pattern algorithm. The paper calls
+// plain Apriori; FP-growth is provided as the standard pattern-growth
+// alternative ("any existing frequent pattern mining algorithm", §3).
+type Engine int
+
+const (
+	// EngineApriori mines each cell with candidate generation and a
+	// counting trie — the paper's choice.
+	EngineApriori Engine = iota
+	// EngineFPGrowth mines each cell with a conditional FP-tree recursion.
+	EngineFPGrowth
+)
+
+// CellResult is the mined content of one frequent cell.
+type CellResult struct {
+	// Values holds, per dimension, the cell's concept (hierarchy.Root for
+	// an aggregated '*' dimension).
+	Values []hierarchy.NodeID
+	// Count is the number of paths aggregated in the cell.
+	Count int64
+	// Segments are the frequent path-segment itemsets mined in the cell
+	// (stage items only).
+	Segments []itemset.Counted
+}
+
+// Result maps cell keys to mined cells. Keys come from CellKey.
+type Result struct {
+	Cells map[string]*CellResult
+	// Stats aggregates the per-cell Apriori work: candidates counted by
+	// pattern length, across all cells.
+	Stats []mining.LevelStats
+	// TIDBytes approximates the transaction-identifier list volume the
+	// algorithm materializes (4 bytes per TID per frequent cell), the I/O
+	// cost §5.2 calls out.
+	TIDBytes int64
+}
+
+// CellKey canonically encodes a cell's per-dimension concepts.
+func CellKey(values []hierarchy.NodeID) string {
+	return itemset.Key(nodeItems(values))
+}
+
+func nodeItems(values []hierarchy.NodeID) []transact.Item {
+	out := make([]transact.Item, len(values))
+	for i, v := range values {
+		out[i] = transact.Item(v)
+	}
+	return out
+}
+
+type engine struct {
+	db        *pathdb.DB
+	syms      *transact.Symbols
+	stageTxs  []transact.Transaction
+	dimLevels [][]int
+	minCount  int64
+	maxLen    int
+	miner     Engine
+	res       *Result
+}
+
+// Run executes Algorithm 2. The symbol table supplies the encoding plan;
+// its path levels define the stage items mined per cell, and its dimension
+// levels define the cuboids enumerated. opts.MinSupport/MinCount set the
+// iceberg threshold δ, which is also the per-cell segment support (matching
+// Shared, whose mixed itemsets carry the same absolute threshold). The
+// pruning toggles of opts do not apply: per the paper, each cell is mined
+// with plain Apriori.
+func Run(db *pathdb.DB, syms *transact.Symbols, opts mining.Options) (*Result, error) {
+	return RunEngine(db, syms, opts, EngineApriori)
+}
+
+// RunEngine is Run with an explicit per-cell mining engine.
+func RunEngine(db *pathdb.DB, syms *transact.Symbols, opts mining.Options, miner Engine) (*Result, error) {
+	minCount, err := mining.ResolveMinCount(opts, db.Len())
+	if err != nil {
+		return nil, err
+	}
+	e := &engine{
+		db:        db,
+		syms:      syms,
+		dimLevels: syms.DimLevels(),
+		minCount:  minCount,
+		maxLen:    opts.MaxLen,
+		miner:     miner,
+		res:       &Result{Cells: make(map[string]*CellResult)},
+	}
+	// Step 2: transform Dp into a transaction database of encoded stages.
+	e.stageTxs = make([]transact.Transaction, db.Len())
+	for i, r := range db.Records {
+		e.stageTxs[i] = syms.EncodeStages(r.Path)
+	}
+
+	all := make([]int32, db.Len())
+	for i := range all {
+		all[i] = int32(i)
+	}
+	cell := make([]hierarchy.NodeID, len(db.Schema.Dims))
+	for i := range cell {
+		cell[i] = hierarchy.Root
+	}
+	// The apex cell holds every path; it is frequent whenever the database
+	// meets the threshold at all.
+	if int64(len(all)) >= minCount {
+		e.emit(cell, all)
+		e.expandFrom(0, all, cell)
+	}
+	return e.res, nil
+}
+
+// expandFrom tries to group each remaining dimension, BUC style.
+func (e *engine) expandFrom(dim int, tids []int32, cell []hierarchy.NodeID) {
+	for d := dim; d < len(cell); d++ {
+		e.expandDim(d, 0, tids, cell)
+	}
+}
+
+// expandDim groups the tids by dimension d at its levelIdx-th materialized
+// level (high abstraction first), recursing into frequent groups: sideways
+// to later dimensions and downward to the next level of d. Infrequent
+// groups are pruned together with all their specializations — the iceberg
+// property.
+func (e *engine) expandDim(d, levelIdx int, tids []int32, cell []hierarchy.NodeID) {
+	if levelIdx >= len(e.dimLevels[d]) {
+		return
+	}
+	level := e.dimLevels[d][levelIdx]
+	h := e.db.Schema.Dims[d]
+	groups := make(map[hierarchy.NodeID][]int32)
+	for _, tid := range tids {
+		v := h.AncestorAt(e.db.Records[tid].Dims[d], level)
+		groups[v] = append(groups[v], tid)
+	}
+	// Deterministic order for reproducible stats.
+	keys := make([]hierarchy.NodeID, 0, len(groups))
+	for v := range groups {
+		keys = append(keys, v)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, v := range keys {
+		g := groups[v]
+		if int64(len(g)) < e.minCount {
+			continue
+		}
+		cell[d] = v
+		e.emit(cell, g)
+		e.expandFrom(d+1, g, cell)
+		e.expandDim(d, levelIdx+1, g, cell)
+	}
+	cell[d] = hierarchy.Root
+}
+
+// emit records the frequent cell and mines its frequent path segments
+// over the cell's stage transactions (Algorithm 2 steps 5-6) with the
+// configured engine.
+func (e *engine) emit(cell []hierarchy.NodeID, tids []int32) {
+	cr := &CellResult{
+		Values: append([]hierarchy.NodeID(nil), cell...),
+		Count:  int64(len(tids)),
+	}
+	e.res.TIDBytes += int64(4 * len(tids))
+
+	if e.miner == EngineFPGrowth {
+		cellTxs := make([]transact.Transaction, len(tids))
+		for i, tid := range tids {
+			cellTxs[i] = e.stageTxs[tid]
+		}
+		cr.Segments = fpgrowth.Mine(cellTxs, e.minCount, e.maxLen)
+		byLen := map[int]int{}
+		for _, s := range cr.Segments {
+			byLen[len(s.Set)]++
+		}
+		for l, n := range byLen {
+			e.addStats(l, n, n, n)
+		}
+		e.res.Cells[CellKey(cell)] = cr
+		return
+	}
+
+	// Scan 1: single stage items.
+	counts := make(map[transact.Item]int64)
+	for _, tid := range tids {
+		for _, it := range e.stageTxs[tid] {
+			counts[it]++
+		}
+	}
+	var l1 []itemset.Counted
+	for it, n := range counts {
+		if n >= e.minCount {
+			l1 = append(l1, itemset.Counted{Set: []transact.Item{it}, Count: n})
+		}
+	}
+	itemset.SortCounted(l1)
+	cr.Segments = append(cr.Segments, l1...)
+	e.addStats(1, len(counts), len(counts), len(l1))
+
+	prev := l1
+	for k := 2; len(prev) > 0 && (e.maxLen == 0 || k <= e.maxLen); k++ {
+		cands := itemset.Join(prev)
+		if len(cands) == 0 {
+			break
+		}
+		trie := itemset.NewTrie()
+		for _, c := range cands {
+			trie.Insert(c)
+		}
+		for _, tid := range tids {
+			trie.Count(e.stageTxs[tid])
+		}
+		lk := trie.Frequent(e.minCount)
+		e.addStats(k, len(cands), len(cands), len(lk))
+		cr.Segments = append(cr.Segments, lk...)
+		prev = lk
+	}
+	e.res.Cells[CellKey(cell)] = cr
+}
+
+func (e *engine) addStats(length, generated, counted, frequent int) {
+	for len(e.res.Stats) < length {
+		e.res.Stats = append(e.res.Stats, mining.LevelStats{Length: len(e.res.Stats) + 1})
+	}
+	s := &e.res.Stats[length-1]
+	s.Generated += generated
+	s.Counted += counted
+	s.Frequent += frequent
+}

@@ -1,0 +1,62 @@
+package datagen
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"flowcube/internal/pathdb"
+)
+
+// Generated datasets serialize self-contained: the first line carries the
+// generator configuration as JSON (from which the schema is rebuilt
+// deterministically), followed by the pathdb text format.
+
+const headerPrefix = "#flowcube-genconfig "
+
+// WriteTo writes the dataset with its config header.
+func (ds *Dataset) WriteTo(w io.Writer) (int64, error) {
+	cfgJSON, err := json.Marshal(ds.Config)
+	if err != nil {
+		return 0, fmt.Errorf("datagen: marshal config: %w", err)
+	}
+	header := headerPrefix + string(cfgJSON) + "\n"
+	n, err := io.WriteString(w, header)
+	if err != nil {
+		return int64(n), err
+	}
+	m, err := ds.DB.WriteTo(w)
+	return int64(n) + m, err
+}
+
+// Read loads a dataset written by WriteTo, rebuilding the schema from the
+// embedded generator configuration.
+func Read(r io.Reader) (*Dataset, error) {
+	br := bufio.NewReader(r)
+	line, err := br.ReadString('\n')
+	if err != nil {
+		return nil, fmt.Errorf("datagen: read header: %w", err)
+	}
+	if !strings.HasPrefix(line, headerPrefix) {
+		return nil, fmt.Errorf("datagen: missing %q header", strings.TrimSpace(headerPrefix))
+	}
+	var cfg Config
+	if err := json.Unmarshal([]byte(strings.TrimPrefix(strings.TrimSpace(line), headerPrefix)), &cfg); err != nil {
+		return nil, fmt.Errorf("datagen: parse config header: %w", err)
+	}
+	// Rebuild the schema exactly as Generate does (hierarchies are
+	// deterministic in the fanouts), then parse the records against it.
+	empty := cfg
+	empty.NumPaths = 1
+	skel, err := Generate(empty)
+	if err != nil {
+		return nil, fmt.Errorf("datagen: rebuild schema: %w", err)
+	}
+	db, err := pathdb.Read(br, skel.Schema)
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{Config: cfg, Schema: skel.Schema, DB: db, Sequences: skel.Sequences}, nil
+}

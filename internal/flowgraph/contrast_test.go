@@ -1,0 +1,103 @@
+package flowgraph_test
+
+import (
+	"math"
+	"testing"
+
+	"flowcube/internal/flowgraph"
+	"flowcube/internal/hierarchy"
+	"flowcube/internal/paperex"
+	"flowcube/internal/pathdb"
+)
+
+func TestContrastIdentical(t *testing.T) {
+	ex := paperex.New()
+	paths := basePaths(ex)
+	a := flowgraph.Build(ex.Location, ex.BasePathLevel(), paths, nil)
+	b := flowgraph.Build(ex.Location, ex.BasePathLevel(), paths, nil)
+	for _, d := range flowgraph.Contrast(a, b, 0) {
+		if d.OnlyIn != 0 || d.DurationDeviation > 1e-12 || d.TransitionDeviation > 1e-12 {
+			t.Errorf("identical graphs produced a diff at %v: %+v", d.Prefix, d)
+		}
+	}
+}
+
+func TestContrastDetectsShift(t *testing.T) {
+	ex := paperex.New()
+	loc := func(n string) hierarchy.NodeID { return ex.Location.MustLookup(n) }
+	mk := func(fDur int64) []pathdb.Path {
+		var out []pathdb.Path
+		for i := 0; i < 10; i++ {
+			out = append(out, pathdb.Path{
+				{Location: loc("f"), Duration: fDur},
+				{Location: loc("s"), Duration: 3},
+			})
+		}
+		return out
+	}
+	baseline := flowgraph.Build(ex.Location, ex.BasePathLevel(), mk(2), nil)
+	current := flowgraph.Build(ex.Location, ex.BasePathLevel(), mk(7), nil)
+
+	diffs := flowgraph.Contrast(current, baseline, 0)
+	if len(diffs) == 0 {
+		t.Fatal("no diffs")
+	}
+	top := diffs[0]
+	if len(top.Prefix) != 1 || top.Prefix[0] != loc("f") {
+		t.Fatalf("top diff at %v, want the factory node", top.Prefix)
+	}
+	if math.Abs(top.DurationShift-5) > 1e-9 {
+		t.Errorf("duration shift = %g, want 5", top.DurationShift)
+	}
+	if top.DurationDeviation != 1 {
+		t.Errorf("duration deviation = %g, want 1 (disjoint supports)", top.DurationDeviation)
+	}
+	// The shelf node is unchanged.
+	for _, d := range diffs {
+		if len(d.Prefix) == 2 && d.DurationDeviation > 1e-12 {
+			t.Errorf("unchanged shelf node diffed: %+v", d)
+		}
+	}
+}
+
+func TestContrastStructuralDifference(t *testing.T) {
+	ex := paperex.New()
+	loc := func(n string) hierarchy.NodeID { return ex.Location.MustLookup(n) }
+	baseline := flowgraph.Build(ex.Location, ex.BasePathLevel(), []pathdb.Path{
+		{{Location: loc("f"), Duration: 1}, {Location: loc("s"), Duration: 1}},
+	}, nil)
+	current := flowgraph.Build(ex.Location, ex.BasePathLevel(), []pathdb.Path{
+		{{Location: loc("f"), Duration: 1}, {Location: loc("w"), Duration: 1}},
+	}, nil)
+	diffs := flowgraph.Contrast(current, baseline, 0)
+	var sawNew, sawGone bool
+	for _, d := range diffs {
+		if d.OnlyIn == 1 && d.Prefix[len(d.Prefix)-1] == loc("w") {
+			sawNew = true
+			if d.CurrentReach != 1 {
+				t.Errorf("new branch reach = %g", d.CurrentReach)
+			}
+		}
+		if d.OnlyIn == -1 && d.Prefix[len(d.Prefix)-1] == loc("s") {
+			sawGone = true
+		}
+	}
+	if !sawNew || !sawGone {
+		t.Errorf("structural differences not reported: %+v", diffs)
+	}
+}
+
+func TestContrastTruncates(t *testing.T) {
+	ex := paperex.New()
+	paths := basePaths(ex)
+	a := flowgraph.Build(ex.Location, ex.BasePathLevel(), paths[:4], nil)
+	b := flowgraph.Build(ex.Location, ex.BasePathLevel(), paths[4:], nil)
+	all := flowgraph.Contrast(a, b, 0)
+	two := flowgraph.Contrast(a, b, 2)
+	if len(two) != 2 {
+		t.Fatalf("k=2 returned %d", len(two))
+	}
+	if two[0].Weight() != all[0].Weight() {
+		t.Errorf("truncation changed ordering")
+	}
+}

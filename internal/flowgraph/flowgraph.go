@@ -1,0 +1,357 @@
+// Package flowgraph implements the paper's §3 measure: a tree-shaped
+// probabilistic workflow summarizing a collection of paths.
+//
+// A flowgraph is a tuple (V, D, T, X). V are the nodes of a prefix tree —
+// one node per distinct path prefix, so all paths sharing a prefix share a
+// branch. D annotates each node with a multinomial distribution over the
+// durations items spent at the node. T annotates each node with a
+// multinomial over its outgoing transitions, including a termination
+// probability. X is the set of exceptions: significant deviations of a
+// node's duration or transition distribution conditioned on a frequent
+// path-segment prefix (parameters ε, the minimum deviation, and δ, the
+// minimum support).
+//
+// Per the paper's Lemma 4.2 the (D, T) component is an algebraic measure —
+// Merge builds a parent cell's distributions from children without touching
+// the path database — while Lemma 4.3 shows X is holistic: Merge drops
+// exceptions and the caller re-mines them.
+package flowgraph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"flowcube/internal/hierarchy"
+	"flowcube/internal/pathdb"
+	"flowcube/internal/stats"
+)
+
+// Terminate is the transition-distribution outcome standing for "the path
+// ends here". Location concept ids are non-negative, so -1 is free.
+const Terminate int64 = -1
+
+// Node is one vertex of the flowgraph: a unique path prefix.
+type Node struct {
+	// Location is the (aggregated) location concept of this stage.
+	Location hierarchy.NodeID
+	// Depth is the 1-based position of the stage in the path; the virtual
+	// root has depth 0.
+	Depth int
+	// Count is the number of paths that reach this node.
+	Count int64
+	// Durations is D's entry for the node.
+	Durations *stats.Multinomial
+	// Transitions is T's entry: outcomes are the child locations (as
+	// int64), plus Terminate.
+	Transitions *stats.Multinomial
+
+	parent   *Node
+	children map[hierarchy.NodeID]*Node
+}
+
+// Children returns the node's children ordered by location id.
+func (n *Node) Children() []*Node {
+	out := make([]*Node, 0, len(n.children))
+	for _, c := range n.children {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Location < out[j].Location })
+	return out
+}
+
+// Child returns the child at the given location, or nil.
+func (n *Node) Child(loc hierarchy.NodeID) *Node { return n.children[loc] }
+
+// Parent returns the node's parent; the virtual root's parent is nil.
+func (n *Node) Parent() *Node { return n.parent }
+
+// Prefix returns the location sequence from the first stage to this node.
+func (n *Node) Prefix() []hierarchy.NodeID {
+	var seq []hierarchy.NodeID
+	for cur := n; cur != nil && cur.Depth > 0; cur = cur.parent {
+		seq = append(seq, cur.Location)
+	}
+	for i, j := 0, len(seq)-1; i < j; i, j = i+1, j-1 {
+		seq[i], seq[j] = seq[j], seq[i]
+	}
+	return seq
+}
+
+// TerminationProb is the probability a path ends at this node.
+func (n *Node) TerminationProb() float64 { return n.Transitions.Prob(Terminate) }
+
+// StagePin identifies one conditioning constraint of an exception: the
+// stage at 1-based position Depth was at Location, with the given Duration
+// (DurAny means the duration is unconstrained).
+type StagePin struct {
+	Depth    int
+	Location hierarchy.NodeID
+	Duration int64
+	DurAny   bool
+}
+
+// Exception is one element of X: conditioned on the pinned prefix, the
+// distributions at Node deviate from the node's general distributions.
+type Exception struct {
+	Node      *Node
+	Condition []StagePin
+	// Support is the number of paths matching the condition and reaching
+	// the node.
+	Support int64
+	// Durations and Transitions are the conditional distributions.
+	Durations   *stats.Multinomial
+	Transitions *stats.Multinomial
+	// DurationDeviation and TransitionDeviation are the L∞ distances from
+	// the node's general distributions; an exception is recorded when
+	// either exceeds ε.
+	DurationDeviation   float64
+	TransitionDeviation float64
+}
+
+// Graph is a flowgraph over paths aggregated to one path abstraction level.
+type Graph struct {
+	level      pathdb.PathLevel
+	merge      pathdb.DurationMerge
+	loc        *hierarchy.Hierarchy
+	root       *Node
+	paths      int64
+	exceptions []Exception
+}
+
+// New returns an empty flowgraph for paths at the given level. merge
+// combines durations of stages collapsed by aggregation (nil =
+// pathdb.SumDurations).
+func New(loc *hierarchy.Hierarchy, level pathdb.PathLevel, merge pathdb.DurationMerge) *Graph {
+	return &Graph{
+		level: level,
+		merge: merge,
+		loc:   loc,
+		root: &Node{
+			Durations:   stats.NewMultinomial(),
+			Transitions: stats.NewMultinomial(),
+			children:    make(map[hierarchy.NodeID]*Node),
+		},
+	}
+}
+
+// Build constructs a flowgraph from raw paths, aggregating each to the
+// level first.
+func Build(loc *hierarchy.Hierarchy, level pathdb.PathLevel, paths []pathdb.Path, merge pathdb.DurationMerge) *Graph {
+	g := New(loc, level, merge)
+	for _, p := range paths {
+		g.AddPath(p)
+	}
+	return g
+}
+
+// Level returns the path abstraction level of the graph.
+func (g *Graph) Level() pathdb.PathLevel { return g.level }
+
+// Root returns the virtual root (depth 0). Its transition distribution is
+// the distribution over first stages.
+func (g *Graph) Root() *Node { return g.root }
+
+// Paths reports the number of paths summarized.
+func (g *Graph) Paths() int64 { return g.paths }
+
+// Exceptions returns the mined exception set X.
+func (g *Graph) Exceptions() []Exception { return g.exceptions }
+
+// AddPath aggregates the raw path to the graph's level and folds it in.
+func (g *Graph) AddPath(p pathdb.Path) {
+	g.addAggregated(pathdb.AggregatePath(p, g.level, g.merge))
+}
+
+// AddAggregated folds in a path already at the graph's level.
+func (g *Graph) AddAggregated(p pathdb.Path) { g.addAggregated(p) }
+
+func (g *Graph) addAggregated(p pathdb.Path) {
+	if len(p) == 0 {
+		return
+	}
+	g.paths++
+	cur := g.root
+	for _, st := range p {
+		cur.Transitions.Observe(int64(st.Location))
+		next := cur.children[st.Location]
+		if next == nil {
+			next = &Node{
+				Location:    st.Location,
+				Depth:       cur.Depth + 1,
+				Durations:   stats.NewMultinomial(),
+				Transitions: stats.NewMultinomial(),
+				parent:      cur,
+				children:    make(map[hierarchy.NodeID]*Node),
+			}
+			cur.children[st.Location] = next
+		}
+		next.Count++
+		next.Durations.Observe(st.Duration)
+		cur = next
+	}
+	cur.Transitions.Observe(Terminate)
+}
+
+// NodeAt resolves the node for a location-sequence prefix, or nil.
+func (g *Graph) NodeAt(seq []hierarchy.NodeID) *Node {
+	cur := g.root
+	for _, l := range seq {
+		cur = cur.children[l]
+		if cur == nil {
+			return nil
+		}
+	}
+	return cur
+}
+
+// Nodes returns every node except the virtual root, in depth-first order
+// with children visited by ascending location id.
+func (g *Graph) Nodes() []*Node {
+	var out []*Node
+	var rec func(n *Node)
+	rec = func(n *Node) {
+		if n.Depth > 0 {
+			out = append(out, n)
+		}
+		for _, c := range n.Children() {
+			rec(c)
+		}
+	}
+	rec(g.root)
+	return out
+}
+
+// PathProb returns the probability the flowgraph's generative model assigns
+// to a raw path: the product over stages of the transition probability into
+// the stage and the probability of its duration, times the termination
+// probability at the end. Paths leaving the tree get probability 0.
+func (g *Graph) PathProb(p pathdb.Path) float64 {
+	agg := pathdb.AggregatePath(p, g.level, g.merge)
+	prob := 1.0
+	cur := g.root
+	for _, st := range agg {
+		prob *= cur.Transitions.Prob(int64(st.Location))
+		cur = cur.children[st.Location]
+		if cur == nil || prob == 0 {
+			return 0
+		}
+		prob *= cur.Durations.Prob(st.Duration)
+	}
+	return prob * cur.Transitions.Prob(Terminate)
+}
+
+// Merge folds other's counts into g (paper Lemma 4.2: duration and
+// transition distributions are algebraic). Both graphs must be at the same
+// path abstraction level. Exceptions are holistic (Lemma 4.3) and are
+// cleared; re-mine them if needed.
+func (g *Graph) Merge(other *Graph) error {
+	if other == nil {
+		return nil
+	}
+	if g.level.Key() != other.level.Key() {
+		return fmt.Errorf("flowgraph: cannot merge graphs at different path levels %q and %q",
+			g.level.Key(), other.level.Key())
+	}
+	g.paths += other.paths
+	mergeNode(g.root, other.root)
+	g.exceptions = nil
+	return nil
+}
+
+func mergeNode(dst, src *Node) {
+	dst.Count += src.Count
+	dst.Durations.Merge(src.Durations)
+	dst.Transitions.Merge(src.Transitions)
+	for loc, sc := range src.children {
+		dc := dst.children[loc]
+		if dc == nil {
+			dc = &Node{
+				Location:    loc,
+				Depth:       dst.Depth + 1,
+				Durations:   stats.NewMultinomial(),
+				Transitions: stats.NewMultinomial(),
+				parent:      dst,
+				children:    make(map[hierarchy.NodeID]*Node),
+			}
+			dst.children[loc] = dc
+		}
+		mergeNode(dc, sc)
+	}
+}
+
+// Clone returns a deep copy of the graph including exceptions' conditional
+// distributions (which are re-pointed at the cloned nodes).
+func (g *Graph) Clone() *Graph {
+	c := New(g.loc, g.level, g.merge)
+	c.paths = g.paths
+	mergeNode(c.root, g.root)
+	for _, x := range g.exceptions {
+		c.exceptions = append(c.exceptions, Exception{
+			Node:                c.NodeAt(x.Node.Prefix()),
+			Condition:           append([]StagePin(nil), x.Condition...),
+			Support:             x.Support,
+			Durations:           x.Durations.Clone(),
+			Transitions:         x.Transitions.Clone(),
+			DurationDeviation:   x.DurationDeviation,
+			TransitionDeviation: x.TransitionDeviation,
+		})
+	}
+	return c
+}
+
+// String renders the tree with per-node duration/transition annotations in
+// the style of the paper's Figure 3.
+func (g *Graph) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "flowgraph (%d paths, level %s)\n", g.paths, g.level.Key())
+	var rec func(n *Node, indent string)
+	rec = func(n *Node, indent string) {
+		for _, c := range n.Children() {
+			frac := 0.0
+			if g.paths > 0 {
+				frac = n.Transitions.Prob(int64(c.Location))
+			}
+			fmt.Fprintf(&b, "%s%s p=%.2f dur[%s]", indent, g.loc.Name(c.Location), frac, c.Durations)
+			if t := c.TerminationProb(); t > 0 {
+				fmt.Fprintf(&b, " term=%.2f", t)
+			}
+			b.WriteByte('\n')
+			rec(c, indent+"  ")
+		}
+	}
+	rec(g.root, "  ")
+	return b.String()
+}
+
+// DOT renders the graph in Graphviz dot syntax, one node per prefix, edges
+// labelled with transition probabilities.
+func (g *Graph) DOT(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=LR;\n", name)
+	id := func(n *Node) string {
+		parts := []string{"root"}
+		for _, l := range n.Prefix() {
+			parts = append(parts, fmt.Sprint(l))
+		}
+		return strings.Join(parts, "_")
+	}
+	var rec func(n *Node)
+	rec = func(n *Node) {
+		label := "start"
+		if n.Depth > 0 {
+			label = fmt.Sprintf("%s\\ndur %s", g.loc.Name(n.Location), n.Durations)
+			if t := n.TerminationProb(); t > 0 {
+				label += fmt.Sprintf("\\nterm %.2f", t)
+			}
+		}
+		fmt.Fprintf(&b, "  %s [label=\"%s\"];\n", id(n), label)
+		for _, c := range n.Children() {
+			fmt.Fprintf(&b, "  %s -> %s [label=\"%.2f\"];\n", id(n), id(c), n.Transitions.Prob(int64(c.Location)))
+			rec(c)
+		}
+	}
+	rec(g.root)
+	b.WriteString("}\n")
+	return b.String()
+}

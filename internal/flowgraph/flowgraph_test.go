@@ -1,0 +1,308 @@
+package flowgraph_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"flowcube/internal/flowgraph"
+	"flowcube/internal/hierarchy"
+	"flowcube/internal/paperex"
+	"flowcube/internal/pathdb"
+)
+
+func basePaths(ex *paperex.Example) []pathdb.Path {
+	out := make([]pathdb.Path, 0, ex.DB.Len())
+	for _, r := range ex.DB.Records {
+		out = append(out, r.Path)
+	}
+	return out
+}
+
+func buildExample(t *testing.T) (*paperex.Example, *flowgraph.Graph) {
+	t.Helper()
+	ex := paperex.New()
+	g := flowgraph.Build(ex.Location, ex.BasePathLevel(), basePaths(ex), nil)
+	return ex, g
+}
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+// TestFigure3Distributions pins the Figure-3 annotations recomputed from
+// Table 1: the factory node's duration distribution is 5:0.375 / 10:0.625
+// (the figure rounds to 0.38/0.62) and its transitions split 5/8 to the
+// distribution center and 3/8 to the truck.
+func TestFigure3Distributions(t *testing.T) {
+	ex, g := buildExample(t)
+	f := g.NodeAt([]hierarchy.NodeID{ex.Location.MustLookup("f")})
+	if f == nil {
+		t.Fatal("factory node missing")
+	}
+	if f.Count != 8 {
+		t.Fatalf("factory count = %d, want 8", f.Count)
+	}
+	if !approx(f.Durations.Prob(5), 3.0/8) || !approx(f.Durations.Prob(10), 5.0/8) {
+		t.Errorf("factory durations = %s, want 5:0.375 10:0.625", f.Durations)
+	}
+	d := int64(ex.Location.MustLookup("d"))
+	tr := int64(ex.Location.MustLookup("t"))
+	if !approx(f.Transitions.Prob(d), 5.0/8) || !approx(f.Transitions.Prob(tr), 3.0/8) {
+		t.Errorf("factory transitions = %s, want d:0.625 t:0.375", f.Transitions)
+	}
+	if f.TerminationProb() != 0 {
+		t.Errorf("factory termination = %g, want 0", f.TerminationProb())
+	}
+
+	// The f→t branch (paths 4,5,6): truck transitions 2/3 to shelf, 1/3 to
+	// warehouse — the 0.67/0.33 edge of Figure 3.
+	ft := g.NodeAt([]hierarchy.NodeID{ex.Location.MustLookup("f"), ex.Location.MustLookup("t")})
+	if ft == nil {
+		t.Fatal("f→t node missing")
+	}
+	s := int64(ex.Location.MustLookup("s"))
+	w := int64(ex.Location.MustLookup("w"))
+	if !approx(ft.Transitions.Prob(s), 2.0/3) || !approx(ft.Transitions.Prob(w), 1.0/3) {
+		t.Errorf("f→t transitions = %s, want s:0.667 w:0.333", ft.Transitions)
+	}
+}
+
+// TestFigure4CellGraph builds the flowgraph of the (outerwear, nike) cell —
+// paths 4, 5, 6 — and checks Figure 4's structure: factory → truck with
+// probability 1, truck → shelf 0.67 / warehouse 0.33, shelf → checkout 1.
+func TestFigure4CellGraph(t *testing.T) {
+	ex := paperex.New()
+	cell := []pathdb.Path{ex.DB.Records[3].Path, ex.DB.Records[4].Path, ex.DB.Records[5].Path}
+	g := flowgraph.Build(ex.Location, ex.BasePathLevel(), cell, nil)
+
+	loc := func(n string) hierarchy.NodeID { return ex.Location.MustLookup(n) }
+	f := g.NodeAt([]hierarchy.NodeID{loc("f")})
+	if !approx(f.Transitions.Prob(int64(loc("t"))), 1) {
+		t.Errorf("factory→truck = %g, want 1", f.Transitions.Prob(int64(loc("t"))))
+	}
+	ft := g.NodeAt([]hierarchy.NodeID{loc("f"), loc("t")})
+	if !approx(ft.Transitions.Prob(int64(loc("s"))), 2.0/3) || !approx(ft.Transitions.Prob(int64(loc("w"))), 1.0/3) {
+		t.Errorf("truck transitions = %s", ft.Transitions)
+	}
+	fts := g.NodeAt([]hierarchy.NodeID{loc("f"), loc("t"), loc("s")})
+	if !approx(fts.Transitions.Prob(int64(loc("c"))), 1) {
+		t.Errorf("shelf→checkout = %g, want 1", fts.Transitions.Prob(int64(loc("c"))))
+	}
+	ftw := g.NodeAt([]hierarchy.NodeID{loc("f"), loc("t"), loc("w")})
+	if !approx(ftw.TerminationProb(), 1) {
+		t.Errorf("warehouse termination = %g, want 1", ftw.TerminationProb())
+	}
+}
+
+// TestPaperExceptionTruckToWarehouse reproduces §3's worked exception: in
+// the f→t branch the truck→warehouse transition is 33% in general but 50%
+// for items that stayed 1 hour at the truck (paths 4 and 6).
+func TestPaperExceptionTruckToWarehouse(t *testing.T) {
+	ex := paperex.New()
+	cell := []pathdb.Path{ex.DB.Records[3].Path, ex.DB.Records[4].Path, ex.DB.Records[5].Path}
+	g := flowgraph.Build(ex.Location, ex.BasePathLevel(), cell, nil)
+	g.MineExceptions(cell, 0.1, 2)
+
+	loc := func(n string) hierarchy.NodeID { return ex.Location.MustLookup(n) }
+	ft := g.NodeAt([]hierarchy.NodeID{loc("f"), loc("t")})
+	var found *flowgraph.Exception
+	for i, x := range g.Exceptions() {
+		if x.Node == ft && len(x.Condition) == 1 &&
+			x.Condition[0].Depth == 2 && x.Condition[0].Duration == 1 {
+			found = &g.Exceptions()[i]
+		}
+	}
+	if found == nil {
+		t.Fatalf("truck-duration-1 exception not mined; got %d exceptions", len(g.Exceptions()))
+	}
+	if found.Support != 2 {
+		t.Errorf("exception support = %d, want 2", found.Support)
+	}
+	if got := found.Transitions.Prob(int64(loc("w"))); !approx(got, 0.5) {
+		t.Errorf("conditional truck→warehouse = %g, want 0.5", got)
+	}
+	base := ft.Transitions.Prob(int64(loc("w")))
+	if !approx(base, 1.0/3) {
+		t.Errorf("general truck→warehouse = %g, want 1/3", base)
+	}
+	if found.TransitionDeviation < 0.1 {
+		t.Errorf("deviation %g below ε", found.TransitionDeviation)
+	}
+}
+
+func TestExceptionSupportThreshold(t *testing.T) {
+	ex := paperex.New()
+	cell := []pathdb.Path{ex.DB.Records[3].Path, ex.DB.Records[4].Path, ex.DB.Records[5].Path}
+	g := flowgraph.Build(ex.Location, ex.BasePathLevel(), cell, nil)
+	g.MineExceptions(cell, 0.1, 3)
+	for _, x := range g.Exceptions() {
+		if x.Support < 3 {
+			t.Errorf("exception with support %d recorded under δ=3", x.Support)
+		}
+	}
+}
+
+func TestMineExceptionsForMultiPin(t *testing.T) {
+	ex, g := buildExample(t)
+	paths := basePaths(ex)
+	loc := func(n string) hierarchy.NodeID { return ex.Location.MustLookup(n) }
+	// Condition: (f,5) at depth 1 AND (d,2) at depth 2 — paths 2, 7, 8.
+	// At the truck node the conditional durations are {1,2,3} vs the
+	// branch-general distribution over paths 1,2,7,8 = {1,1,2,3}.
+	conds := [][]flowgraph.StagePin{{
+		{Depth: 1, Location: loc("f"), Duration: 5},
+		{Depth: 2, Location: loc("d"), Duration: 2},
+	}}
+	g.MineExceptionsFor(paths, conds, 0.05, 2)
+	fdt := g.NodeAt([]hierarchy.NodeID{loc("f"), loc("d"), loc("t")})
+	found := false
+	for _, x := range g.Exceptions() {
+		if x.Node == fdt && len(x.Condition) == 2 {
+			found = true
+			if x.Support != 3 {
+				t.Errorf("multi-pin exception support = %d, want 3", x.Support)
+			}
+			if !approx(x.Durations.Prob(1), 1.0/3) {
+				t.Errorf("conditional dur(1) = %g, want 1/3", x.Durations.Prob(1))
+			}
+		}
+	}
+	if !found {
+		t.Errorf("multi-pin condition produced no exception at f→d→t")
+	}
+}
+
+// TestAlgebraicMerge verifies Lemma 4.2: merging the flowgraphs of a
+// partition reproduces the flowgraph of the whole.
+func TestAlgebraicMerge(t *testing.T) {
+	ex := paperex.New()
+	paths := basePaths(ex)
+	whole := flowgraph.Build(ex.Location, ex.BasePathLevel(), paths, nil)
+
+	merged := flowgraph.Build(ex.Location, ex.BasePathLevel(), paths[:3], nil)
+	mid := flowgraph.Build(ex.Location, ex.BasePathLevel(), paths[3:6], nil)
+	rest := flowgraph.Build(ex.Location, ex.BasePathLevel(), paths[6:], nil)
+	if err := merged.Merge(mid); err != nil {
+		t.Fatal(err)
+	}
+	if err := merged.Merge(rest); err != nil {
+		t.Fatal(err)
+	}
+
+	if merged.Paths() != whole.Paths() {
+		t.Fatalf("merged paths = %d, want %d", merged.Paths(), whole.Paths())
+	}
+	wn, mn := whole.Nodes(), merged.Nodes()
+	if len(wn) != len(mn) {
+		t.Fatalf("merged has %d nodes, whole has %d", len(mn), len(wn))
+	}
+	for i := range wn {
+		if wn[i].Location != mn[i].Location || wn[i].Count != mn[i].Count {
+			t.Errorf("node %d mismatch: (%v,%d) vs (%v,%d)",
+				i, mn[i].Location, mn[i].Count, wn[i].Location, wn[i].Count)
+		}
+		if wn[i].Durations.String() != mn[i].Durations.String() {
+			t.Errorf("node %d duration dist mismatch", i)
+		}
+		if wn[i].Transitions.String() != mn[i].Transitions.String() {
+			t.Errorf("node %d transition dist mismatch", i)
+		}
+	}
+	if d := flowgraph.Divergence(whole, merged); !approx(d, 0) {
+		t.Errorf("divergence between whole and merged = %g, want 0", d)
+	}
+}
+
+func TestMergeRejectsDifferentLevels(t *testing.T) {
+	ex := paperex.New()
+	paths := basePaths(ex)
+	a := flowgraph.Build(ex.Location, ex.BasePathLevel(), paths, nil)
+	b := flowgraph.Build(ex.Location, ex.TransportPathLevel(), paths, nil)
+	if err := a.Merge(b); err == nil {
+		t.Errorf("merging graphs at different path levels must fail")
+	}
+}
+
+func TestPathProb(t *testing.T) {
+	ex, g := buildExample(t)
+	// Path 6: f(10) t(1) w(5): P = P(f)·P(10|f)·P(t|f)·P(1|ft)·P(w|ft)·P(5|ftw)·P(term|ftw)
+	// = 1 · 5/8 · 3/8 · 2/3 · 1/3 · 1 · 1 = 5/96·... compute: 0.625·0.375·0.6667·0.3333 = 0.05208
+	p := g.PathProb(ex.DB.Records[5].Path)
+	want := (5.0 / 8) * (3.0 / 8) * (2.0 / 3) * (1.0 / 3)
+	if !approx(p, want) {
+		t.Errorf("PathProb = %g, want %g", p, want)
+	}
+	// A path leaving the tree has probability 0.
+	alien := pathdb.Path{{Location: ex.Location.MustLookup("c"), Duration: 1}}
+	if g.PathProb(alien) != 0 {
+		t.Errorf("alien path probability = %g, want 0", g.PathProb(alien))
+	}
+}
+
+func TestSimilarityProperties(t *testing.T) {
+	ex := paperex.New()
+	paths := basePaths(ex)
+	a := flowgraph.Build(ex.Location, ex.BasePathLevel(), paths, nil)
+	b := flowgraph.Build(ex.Location, ex.BasePathLevel(), paths[:4], nil)
+	if s := flowgraph.Similarity(a, a); !approx(s, 1) {
+		t.Errorf("self similarity = %g, want 1", s)
+	}
+	sab := flowgraph.Similarity(a, b)
+	sba := flowgraph.Similarity(b, a)
+	if !approx(sab, sba) {
+		t.Errorf("similarity not symmetric: %g vs %g", sab, sba)
+	}
+	if sab <= 0 || sab >= 1 {
+		t.Errorf("similarity of different graphs = %g, want in (0,1)", sab)
+	}
+}
+
+func TestAggregatedGraphMergesStages(t *testing.T) {
+	ex := paperex.New()
+	paths := basePaths(ex)
+	g := flowgraph.Build(ex.Location, pathdb.PathLevel{
+		Cut:  hierarchy.LevelCut(ex.Location, 1),
+		Time: pathdb.TimeBase,
+	}, paths, nil)
+	// Path 1 aggregates to factory(10) transportation(3) store(5): the d,t
+	// and s,c runs merge with summed durations.
+	fa := ex.Location.MustLookup("factory")
+	tr := ex.Location.MustLookup("transportation")
+	node := g.NodeAt([]hierarchy.NodeID{fa, tr})
+	if node == nil {
+		t.Fatal("factory→transportation node missing")
+	}
+	if node.Durations.Count(3) == 0 {
+		t.Errorf("merged duration 3 (2+1) not observed: %s", node.Durations)
+	}
+}
+
+func TestRenderings(t *testing.T) {
+	ex, g := buildExample(t)
+	_ = ex
+	s := g.String()
+	if !strings.Contains(s, "f ") || !strings.Contains(s, "8 paths") {
+		t.Errorf("String() output missing content:\n%s", s)
+	}
+	dot := g.DOT("example")
+	if !strings.HasPrefix(dot, "digraph") || !strings.Contains(dot, "->") {
+		t.Errorf("DOT output malformed:\n%s", dot)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	ex, g := buildExample(t)
+	g.MineExceptions(basePaths(ex), 0.1, 2)
+	c := g.Clone()
+	if c.Paths() != g.Paths() || len(c.Exceptions()) != len(g.Exceptions()) {
+		t.Fatalf("clone differs: paths %d/%d exceptions %d/%d",
+			c.Paths(), g.Paths(), len(c.Exceptions()), len(g.Exceptions()))
+	}
+	// Mutating the clone must not affect the original.
+	c.AddPath(ex.DB.Records[0].Path)
+	if c.Paths() == g.Paths() {
+		t.Errorf("clone shares state with original")
+	}
+	if d := flowgraph.Divergence(g, g); !approx(d, 0) {
+		t.Errorf("original perturbed by clone mutation")
+	}
+}

@@ -1,0 +1,234 @@
+package hierarchy_test
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"flowcube/internal/hierarchy"
+)
+
+func figure5(t *testing.T) *hierarchy.Hierarchy {
+	t.Helper()
+	h := hierarchy.New("location")
+	h.MustAddPath("transportation", "d")
+	h.MustAddPath("transportation", "t")
+	h.MustAddPath("factory", "f")
+	h.MustAddPath("store", "w")
+	h.MustAddPath("store", "b")
+	h.MustAddPath("store", "s")
+	h.MustAddPath("store", "c")
+	return h
+}
+
+func TestBasicStructure(t *testing.T) {
+	h := figure5(t)
+	if h.Depth() != 2 {
+		t.Errorf("depth = %d, want 2", h.Depth())
+	}
+	if h.Len() != 11 { // root + 3 groups + 7 leaves
+		t.Errorf("len = %d, want 11", h.Len())
+	}
+	d := h.MustLookup("d")
+	if h.Level(d) != 2 {
+		t.Errorf("level(d) = %d, want 2", h.Level(d))
+	}
+	tr := h.MustLookup("transportation")
+	if h.Parent(d) != tr {
+		t.Errorf("parent(d) != transportation")
+	}
+	if h.AncestorAt(d, 1) != tr {
+		t.Errorf("ancestorAt(d,1) != transportation")
+	}
+	if h.AncestorAt(d, 0) != hierarchy.Root {
+		t.Errorf("ancestorAt(d,0) != root")
+	}
+	if h.AncestorAt(d, 5) != d {
+		t.Errorf("ancestorAt below own level must return the node itself")
+	}
+	if !h.IsAncestorOrSelf(tr, d) || h.IsAncestorOrSelf(d, tr) {
+		t.Errorf("IsAncestorOrSelf wrong for transportation/d")
+	}
+	if !h.IsLeaf(d) || h.IsLeaf(tr) {
+		t.Errorf("IsLeaf wrong")
+	}
+	if len(h.Leaves()) != 7 {
+		t.Errorf("leaves = %d, want 7", len(h.Leaves()))
+	}
+	if got := len(h.NodesAtLevel(1)); got != 3 {
+		t.Errorf("nodes at level 1 = %d, want 3", got)
+	}
+}
+
+func TestAddErrors(t *testing.T) {
+	h := hierarchy.New("x")
+	if _, err := h.Add("nope", "a"); err == nil {
+		t.Errorf("unknown parent accepted")
+	}
+	h.MustAdd("*", "a")
+	if _, err := h.Add("*", "a"); err == nil {
+		t.Errorf("duplicate concept accepted")
+	}
+	if _, err := h.AddPath("a", "b"); err != nil {
+		t.Errorf("AddPath reusing existing node failed: %v", err)
+	}
+	h.MustAdd("*", "other")
+	if _, err := h.AddPath("other", "b"); err == nil {
+		t.Errorf("AddPath accepted concept under conflicting parent")
+	}
+}
+
+func TestLookup(t *testing.T) {
+	h := figure5(t)
+	if _, ok := h.Lookup("nosuch"); ok {
+		t.Errorf("Lookup found a missing concept")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("MustLookup on a missing concept did not panic")
+		}
+	}()
+	h.MustLookup("nosuch")
+}
+
+func TestLevelCut(t *testing.T) {
+	h := figure5(t)
+	cut := hierarchy.LevelCut(h, 1)
+	if len(cut.Nodes()) != 3 {
+		t.Fatalf("level-1 cut has %d nodes, want 3", len(cut.Nodes()))
+	}
+	if cut.Map(h.MustLookup("d")) != h.MustLookup("transportation") {
+		t.Errorf("d should map to transportation")
+	}
+	if cut.Map(h.MustLookup("w")) != h.MustLookup("store") {
+		t.Errorf("w should map to store")
+	}
+	leaf := hierarchy.LevelCut(h, 2)
+	if leaf.Map(h.MustLookup("d")) != h.MustLookup("d") {
+		t.Errorf("leaf cut must be the identity on leaves")
+	}
+	if !leaf.Refines(cut) {
+		t.Errorf("leaf cut must refine the level-1 cut")
+	}
+	if cut.Refines(leaf) {
+		t.Errorf("level-1 cut must not refine the leaf cut")
+	}
+}
+
+// TestFigure5Cut exercises the paper's mixed cut ⟨d, t, w, factory, store⟩:
+// warehouse stays at detail even though it lies below store.
+func TestFigure5Cut(t *testing.T) {
+	h := figure5(t)
+	cut, err := hierarchy.CutByNames(h, "d", "t", "w", "factory", "store")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cut.Map(h.MustLookup("w")) != h.MustLookup("w") {
+		t.Errorf("warehouse must map to itself (deepest selected wins)")
+	}
+	if cut.Map(h.MustLookup("b")) != h.MustLookup("store") {
+		t.Errorf("backroom must map to store")
+	}
+	if cut.Map(h.MustLookup("d")) != h.MustLookup("d") {
+		t.Errorf("dist.center must map to itself")
+	}
+	if cut.Map(h.MustLookup("f")) != h.MustLookup("factory") {
+		t.Errorf("f must map to factory")
+	}
+}
+
+func TestCutErrors(t *testing.T) {
+	h := figure5(t)
+	if _, err := hierarchy.CutByNames(h, "transportation", "factory"); err == nil {
+		t.Errorf("cut not covering store leaves accepted")
+	}
+	if _, err := hierarchy.CutByNames(h, "nosuch"); err == nil {
+		t.Errorf("cut with unknown concept accepted")
+	}
+	if _, err := hierarchy.NewCut(h, []hierarchy.NodeID{1, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10}); err == nil {
+		t.Errorf("cut with duplicate node accepted")
+	}
+	if _, err := hierarchy.NewCut(h, []hierarchy.NodeID{99}); err == nil {
+		t.Errorf("cut with out-of-range node accepted")
+	}
+}
+
+func TestCutKeyDeterminism(t *testing.T) {
+	h := figure5(t)
+	a, _ := hierarchy.CutByNames(h, "store", "factory", "transportation")
+	b, _ := hierarchy.CutByNames(h, "transportation", "store", "factory")
+	if a.Key() != b.Key() {
+		t.Errorf("cut key depends on node order: %q vs %q", a.Key(), b.Key())
+	}
+}
+
+func TestGenerate(t *testing.T) {
+	h := hierarchy.Generate("dim", 3, 2)
+	if h.Depth() != 2 {
+		t.Errorf("depth = %d, want 2", h.Depth())
+	}
+	if got := len(h.Leaves()); got != 6 {
+		t.Errorf("leaves = %d, want 6", got)
+	}
+	if got := len(h.NodesAtLevel(1)); got != 3 {
+		t.Errorf("level-1 nodes = %d, want 3", got)
+	}
+	// Names are self-describing.
+	for _, l := range h.Leaves() {
+		if !strings.HasPrefix(h.Name(l), "dim.") {
+			t.Errorf("generated name %q lacks dimension prefix", h.Name(l))
+		}
+	}
+}
+
+// Property: for every generated hierarchy and level, LevelCut maps each
+// leaf to its AncestorAt that level.
+func TestLevelCutProperty(t *testing.T) {
+	f := func(fan1, fan2 uint8, level uint8) bool {
+		f1 := int(fan1%4) + 1
+		f2 := int(fan2%4) + 1
+		h := hierarchy.Generate("p", f1, f2)
+		l := int(level % 3)
+		cut := hierarchy.LevelCut(h, l)
+		for _, leaf := range h.Leaves() {
+			if cut.Map(leaf) != h.AncestorAt(leaf, l) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Refines is reflexive and LevelCut(l) refines LevelCut(l') for
+// l >= l'.
+func TestRefinesProperty(t *testing.T) {
+	f := func(fan1, fan2 uint8, la, lb uint8) bool {
+		f1 := int(fan1%4) + 1
+		f2 := int(fan2%4) + 1
+		h := hierarchy.Generate("p", f1, f2)
+		a := int(la % 3)
+		b := int(lb % 3)
+		ca, cb := hierarchy.LevelCut(h, a), hierarchy.LevelCut(h, b)
+		if !ca.Refines(ca) {
+			return false
+		}
+		if a >= b && !ca.Refines(cb) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	h := figure5(t)
+	s := h.String()
+	if !strings.Contains(s, "transportation") || !strings.Contains(s, "  d") {
+		t.Errorf("String() output unexpected:\n%s", s)
+	}
+}

@@ -1,0 +1,93 @@
+package itemset
+
+import (
+	"sort"
+
+	"flowcube/internal/transact"
+)
+
+// Closed-itemset compression. A frequent itemset is *closed* when no
+// strict superset has the same support; the closed sets determine the
+// support of every frequent itemset, so storing only them loses nothing.
+// The flowcube's frequent-segment output is highly redundant in exactly
+// this way — e.g. every sub-prefix of a frequent path segment is frequent
+// with at least its support — which makes closure a natural compression
+// for materialized mining results.
+
+// Closed filters a complete frequent-itemset collection (every frequent
+// set with its exact support, as produced by the miners) down to the
+// closed ones. The input order is not disturbed; the result is a new
+// slice.
+func Closed(sets []Counted) []Counted {
+	// Group by support: a set can only be non-closed due to a superset
+	// with the *same* support.
+	bySupport := make(map[int64][]int)
+	for i, c := range sets {
+		bySupport[c.Count] = append(bySupport[c.Count], i)
+	}
+	closed := make([]bool, len(sets))
+	for i := range closed {
+		closed[i] = true
+	}
+	for _, idxs := range bySupport {
+		// Sort by length descending; check each set against the longer
+		// ones in its support class.
+		sort.Slice(idxs, func(a, b int) bool { return len(sets[idxs[a]].Set) > len(sets[idxs[b]].Set) })
+		for a := 1; a < len(idxs); a++ {
+			sa := sets[idxs[a]].Set
+			for b := 0; b < a; b++ {
+				if !closed[idxs[b]] {
+					continue
+				}
+				if len(sets[idxs[b]].Set) <= len(sa) {
+					break // no longer supersets remain
+				}
+				if isSubset(sa, sets[idxs[b]].Set) {
+					closed[idxs[a]] = false
+					break
+				}
+			}
+		}
+	}
+	var out []Counted
+	for i, c := range sets {
+		if closed[i] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// isSubset reports a ⊆ b for sorted item slices.
+func isSubset(a, b []transact.Item) bool {
+	i := 0
+	for _, want := range a {
+		for i < len(b) && b[i] < want {
+			i++
+		}
+		if i >= len(b) || b[i] != want {
+			return false
+		}
+		i++
+	}
+	return true
+}
+
+// SupportFromClosed reconstructs the support of an arbitrary itemset from
+// a closed collection: the minimum support among closed supersets. ok is
+// false when no closed superset exists (the set is not frequent).
+func SupportFromClosed(closed []Counted, set []transact.Item) (int64, bool) {
+	var best int64 = -1
+	for _, c := range closed {
+		if len(c.Set) < len(set) {
+			continue
+		}
+		if isSubset(set, c.Set) && (best < 0 || c.Count > best) {
+			best = c.Count
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	return best, true
+}

@@ -1,0 +1,80 @@
+package itemset_test
+
+import (
+	"testing"
+
+	"flowcube/internal/hierarchy"
+	"flowcube/internal/itemset"
+	"flowcube/internal/mining"
+	"flowcube/internal/paperex"
+	"flowcube/internal/pathdb"
+	"flowcube/internal/transact"
+)
+
+func TestClosedSimple(t *testing.T) {
+	// {1}:5, {1,2}:5 → {1} is not closed; {1,2}:5, {1,3}:3 closed.
+	sets := []itemset.Counted{
+		{Set: set(1), Count: 5},
+		{Set: set(1, 2), Count: 5},
+		{Set: set(2), Count: 5},
+		{Set: set(1, 3), Count: 3},
+		{Set: set(3), Count: 3},
+	}
+	closed := itemset.Closed(sets)
+	keys := map[string]bool{}
+	for _, c := range closed {
+		keys[itemset.Key(c.Set)] = true
+	}
+	if keys[itemset.Key(set(1))] || keys[itemset.Key(set(2))] {
+		t.Errorf("{1} and {2} must be absorbed by {1,2}: %v", closed)
+	}
+	if !keys[itemset.Key(set(1, 2))] || !keys[itemset.Key(set(1, 3))] {
+		t.Errorf("closed sets missing: %v", closed)
+	}
+	if keys[itemset.Key(set(3))] {
+		t.Errorf("{3}:3 absorbed by {1,3}:3 — expected, but keep the deviation visible")
+	}
+}
+
+// TestClosedLossless: on the running example's full mining output, the
+// closed subset reconstructs every original support exactly.
+func TestClosedLossless(t *testing.T) {
+	ex := paperex.New()
+	leaf := hierarchy.LevelCut(ex.Location, ex.Location.Depth())
+	syms := transact.MustNewSymbols(ex.Schema, transact.Plan{
+		PathLevels: []pathdb.PathLevel{
+			{Cut: leaf, Time: pathdb.TimeBase},
+			{Cut: leaf, Time: pathdb.TimeAny},
+		},
+	})
+	txs := syms.Encode(ex.DB)
+	res, err := mining.Mine(syms, txs, mining.Options{MinCount: 2, PruneAncestor: true, PruneLink: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := res.All()
+	closed := itemset.Closed(all)
+	if len(closed) >= len(all) {
+		t.Fatalf("closure did not compress: %d of %d", len(closed), len(all))
+	}
+	for _, c := range all {
+		got, ok := itemset.SupportFromClosed(closed, c.Set)
+		if !ok {
+			t.Fatalf("closed collection lost %s", syms.SetString(c.Set))
+		}
+		if got != c.Count {
+			t.Fatalf("support of %s reconstructed as %d, want %d", syms.SetString(c.Set), got, c.Count)
+		}
+	}
+	t.Logf("closure: %d → %d itemsets", len(all), len(closed))
+}
+
+func TestSupportFromClosedMiss(t *testing.T) {
+	closed := []itemset.Counted{{Set: set(1, 2), Count: 4}}
+	if _, ok := itemset.SupportFromClosed(closed, set(3)); ok {
+		t.Errorf("non-frequent set reconstructed")
+	}
+	if n, ok := itemset.SupportFromClosed(closed, set(1)); !ok || n != 4 {
+		t.Errorf("subset support = %d,%v", n, ok)
+	}
+}

@@ -1,0 +1,294 @@
+// Package itemset provides the frequent-itemset machinery shared by the
+// Shared/Basic miners (§5.1) and the Cubing competitor (§5.2): canonical
+// itemset keys, Apriori candidate generation with subset pruning, and a
+// candidate trie that counts support of all candidates of one length in a
+// single pass over each transaction.
+package itemset
+
+import (
+	"encoding/binary"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"flowcube/internal/transact"
+)
+
+// Key packs a sorted itemset into a compact string usable as a map key.
+func Key(set []transact.Item) string {
+	b := make([]byte, 4*len(set))
+	for i, it := range set {
+		binary.LittleEndian.PutUint32(b[4*i:], uint32(it))
+	}
+	return string(b)
+}
+
+// FromKey unpacks a Key back into an itemset.
+func FromKey(key string) []transact.Item {
+	set := make([]transact.Item, len(key)/4)
+	for i := range set {
+		set[i] = transact.Item(binary.LittleEndian.Uint32([]byte(key[4*i : 4*i+4])))
+	}
+	return set
+}
+
+// Counted is a frequent itemset with its support count.
+type Counted struct {
+	Set   []transact.Item
+	Count int64
+}
+
+// SortCounted orders itemsets lexicographically, for deterministic output.
+func SortCounted(sets []Counted) {
+	sort.Slice(sets, func(i, j int) bool {
+		a, b := sets[i].Set, sets[j].Set
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return len(a) < len(b)
+	})
+}
+
+// Join generates the candidates of length k+1 from the frequent itemsets of
+// length k by the classic Apriori join (merge two sets sharing their first
+// k-1 items) followed by the subset test: every k-subset of a candidate
+// must itself be frequent. prev must all have the same length and be
+// internally sorted; the result sets are sorted.
+func Join(prev []Counted) [][]transact.Item {
+	if len(prev) == 0 {
+		return nil
+	}
+	k := len(prev[0].Set)
+	sets := make([][]transact.Item, len(prev))
+	for i, c := range prev {
+		sets[i] = c.Set
+	}
+	sort.Slice(sets, func(i, j int) bool { return lexLess(sets[i], sets[j]) })
+	frequent := make(map[string]bool, len(sets))
+	for _, s := range sets {
+		frequent[Key(s)] = true
+	}
+
+	var out [][]transact.Item
+	for i := 0; i < len(sets); i++ {
+		for j := i + 1; j < len(sets); j++ {
+			if !samePrefix(sets[i], sets[j], k-1) {
+				break // sorted order: no further j shares the prefix
+			}
+			cand := make([]transact.Item, k+1)
+			copy(cand, sets[i])
+			cand[k] = sets[j][k-1]
+			if hasInfrequentSubset(cand, frequent, k) {
+				continue
+			}
+			out = append(out, cand)
+		}
+	}
+	return out
+}
+
+func lexLess(a, b []transact.Item) bool {
+	for k := 0; k < len(a) && k < len(b); k++ {
+		if a[k] != b[k] {
+			return a[k] < b[k]
+		}
+	}
+	return len(a) < len(b)
+}
+
+func samePrefix(a, b []transact.Item, n int) bool {
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// hasInfrequentSubset checks every k-subset of the (k+1)-candidate. The two
+// subsets obtained by dropping one of the joined tails are the parents and
+// are frequent by construction, so only subsets dropping an earlier
+// position need checking.
+func hasInfrequentSubset(cand []transact.Item, frequent map[string]bool, k int) bool {
+	buf := make([]transact.Item, k)
+	for drop := 0; drop < k-1; drop++ {
+		copy(buf, cand[:drop])
+		copy(buf[drop:], cand[drop+1:])
+		if !frequent[Key(buf)] {
+			return true
+		}
+	}
+	return false
+}
+
+type trieNode struct {
+	item     transact.Item
+	children []*trieNode
+	count    int64
+	leaf     bool
+}
+
+func (n *trieNode) ensureChild(it transact.Item) *trieNode {
+	lo, hi := 0, len(n.children)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if n.children[mid].item < it {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(n.children) && n.children[lo].item == it {
+		return n.children[lo]
+	}
+	c := &trieNode{item: it}
+	n.children = append(n.children, nil)
+	copy(n.children[lo+1:], n.children[lo:])
+	n.children[lo] = c
+	return c
+}
+
+// Trie counts support for a set of same-length candidates. Insert all
+// candidates, call Count once per transaction, then harvest with Walk.
+type Trie struct {
+	root trieNode
+	size int
+}
+
+// NewTrie returns an empty candidate trie.
+func NewTrie() *Trie { return &Trie{} }
+
+// Size reports the number of inserted candidates.
+func (t *Trie) Size() int { return t.size }
+
+// Insert adds a sorted candidate itemset.
+func (t *Trie) Insert(set []transact.Item) {
+	n := &t.root
+	for _, it := range set {
+		n = n.ensureChild(it)
+	}
+	if !n.leaf {
+		n.leaf = true
+		t.size++
+	}
+}
+
+// Count increments the support of every inserted candidate contained in the
+// sorted transaction. Not safe to call concurrently; use CountParallel for
+// that.
+func (t *Trie) Count(tx transact.Transaction) {
+	countNode(&t.root, tx)
+}
+
+// CountParallel counts the whole transaction set across the given number
+// of workers. The trie structure is read-only during counting; supports
+// accumulate with atomic adds, so the result is identical to sequential
+// Count over every transaction. workers <= 1 degrades to the serial path.
+func (t *Trie) CountParallel(txs []transact.Transaction, workers int) {
+	if workers <= 1 || len(txs) < 2*workers {
+		for _, tx := range txs {
+			t.Count(tx)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (len(txs) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= len(txs) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(txs) {
+			hi = len(txs)
+		}
+		wg.Add(1)
+		go func(part []transact.Transaction) {
+			defer wg.Done()
+			for _, tx := range part {
+				countNodeAtomic(&t.root, tx)
+			}
+		}(txs[lo:hi])
+	}
+	wg.Wait()
+}
+
+func countNodeAtomic(n *trieNode, tx transact.Transaction) {
+	if n.leaf {
+		atomic.AddInt64(&n.count, 1)
+	}
+	if len(n.children) == 0 || len(tx) == 0 {
+		return
+	}
+	ci, ti := 0, 0
+	for ci < len(n.children) && ti < len(tx) {
+		c := n.children[ci]
+		switch {
+		case c.item < tx[ti]:
+			ci++
+		case c.item > tx[ti]:
+			ti++
+		default:
+			countNodeAtomic(c, tx[ti+1:])
+			ci++
+			ti++
+		}
+	}
+}
+
+func countNode(n *trieNode, tx transact.Transaction) {
+	if n.leaf {
+		n.count++
+	}
+	if len(n.children) == 0 || len(tx) == 0 {
+		return
+	}
+	// Merge-walk the sorted transaction against the sorted children.
+	ci, ti := 0, 0
+	for ci < len(n.children) && ti < len(tx) {
+		c := n.children[ci]
+		switch {
+		case c.item < tx[ti]:
+			ci++
+		case c.item > tx[ti]:
+			ti++
+		default:
+			countNode(c, tx[ti+1:])
+			ci++
+			ti++
+		}
+	}
+}
+
+// Walk visits every candidate with its accumulated count, in lexicographic
+// order. The set slice passed to fn is reused across calls; copy it to
+// retain.
+func (t *Trie) Walk(fn func(set []transact.Item, count int64)) {
+	var buf []transact.Item
+	var rec func(n *trieNode)
+	rec = func(n *trieNode) {
+		if n.leaf {
+			fn(buf, n.count)
+		}
+		for _, c := range n.children {
+			buf = append(buf, c.item)
+			rec(c)
+			buf = buf[:len(buf)-1]
+		}
+	}
+	rec(&t.root)
+}
+
+// Frequent harvests the candidates whose count meets minCount, copying the
+// sets.
+func (t *Trie) Frequent(minCount int64) []Counted {
+	var out []Counted
+	t.Walk(func(set []transact.Item, count int64) {
+		if count >= minCount {
+			out = append(out, Counted{Set: append([]transact.Item(nil), set...), Count: count})
+		}
+	})
+	return out
+}

@@ -1,0 +1,324 @@
+// Package mining implements the paper's Algorithm 1 ("Shared") — the
+// simultaneous, multi-level mining of frequent cells and frequent path
+// segments over the transformed transaction database — together with the
+// "Basic" baseline used in the evaluation, which is the same Apriori loop
+// with every candidate-pruning optimization disabled.
+package mining
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"flowcube/internal/itemset"
+	"flowcube/internal/transact"
+)
+
+// Options configures one mining run. Shared and Basic presets are provided
+// by SharedOptions and BasicOptions; individual toggles support the
+// ablation study.
+type Options struct {
+	// MinSupport is the relative minimum support δ in (0,1]. Ignored when
+	// MinCount > 0.
+	MinSupport float64
+	// MinCount is the absolute minimum support; overrides MinSupport.
+	MinCount int64
+
+	// PruneAncestor removes candidates containing an item together with one
+	// of its ancestors (optimization 4 of §5).
+	PruneAncestor bool
+	// PruneLink removes candidates containing two stages that can never
+	// appear in the same path (optimization 2 of §5).
+	PruneLink bool
+	// Precount counts high-abstraction-level pairs during the first scan
+	// and removes length-2 candidates whose pre-counted image pair is
+	// infrequent (optimization 1 of §5).
+	Precount bool
+
+	// MaxLen stops the level-wise loop after this pattern length; 0 means
+	// unlimited.
+	MaxLen int
+	// Workers shards support counting across goroutines. The result is
+	// identical to the sequential run; 0 or 1 keeps counting sequential.
+	Workers int
+	// CandidateLimit aborts the run when the number of candidates of one
+	// length exceeds it; 0 means unlimited. The paper reports Basic
+	// exceeding memory on larger inputs — this is the controlled analogue.
+	CandidateLimit int
+}
+
+// SharedOptions returns the Shared algorithm's configuration at the given
+// minimum support.
+func SharedOptions(minSupport float64) Options {
+	return Options{
+		MinSupport:    minSupport,
+		PruneAncestor: true,
+		PruneLink:     true,
+		Precount:      true,
+	}
+}
+
+// BasicOptions returns the Basic baseline's configuration: no candidate
+// pruning beyond the Apriori subset test.
+func BasicOptions(minSupport float64) Options {
+	return Options{MinSupport: minSupport}
+}
+
+// LevelStats records per-length work for the pruning-power analysis
+// (paper Figure 11).
+type LevelStats struct {
+	Length    int
+	Generated int // candidates produced by the Apriori join
+	Pruned    int // removed by Shared's optimizations before counting
+	Counted   int // candidates whose support was measured
+	Frequent  int
+}
+
+// Result is the output of one mining run.
+type Result struct {
+	// ByLength[k-1] holds the frequent itemsets of length k.
+	ByLength [][]itemset.Counted
+	// Levels holds per-length candidate statistics.
+	Levels []LevelStats
+	// Scans is the number of passes over the transaction database.
+	Scans int
+	// MinCount is the absolute support threshold used.
+	MinCount int64
+	// Aborted is true when CandidateLimit stopped the run early.
+	Aborted bool
+
+	index map[string]int64
+}
+
+// All returns every frequent itemset across lengths.
+func (r *Result) All() []itemset.Counted {
+	var out []itemset.Counted
+	for _, l := range r.ByLength {
+		out = append(out, l...)
+	}
+	return out
+}
+
+// Support looks up the support count of a sorted itemset; ok is false when
+// the set is not frequent.
+func (r *Result) Support(set []transact.Item) (int64, bool) {
+	if r.index == nil {
+		r.index = make(map[string]int64)
+		for _, l := range r.ByLength {
+			for _, c := range l {
+				r.index[itemset.Key(c.Set)] = c.Count
+			}
+		}
+	}
+	n, ok := r.index[itemset.Key(set)]
+	return n, ok
+}
+
+// MaxLen reports the longest frequent pattern length found.
+func (r *Result) MaxLen() int {
+	for k := len(r.ByLength); k > 0; k-- {
+		if len(r.ByLength[k-1]) > 0 {
+			return k
+		}
+	}
+	return 0
+}
+
+// ResolveMinCount converts options to an absolute support threshold over n
+// transactions. Minimum support must be positive: a zero threshold would
+// ask for every subset of every transaction.
+func ResolveMinCount(opts Options, n int) (int64, error) {
+	if opts.MinCount > 0 {
+		return opts.MinCount, nil
+	}
+	if opts.MinSupport <= 0 || opts.MinSupport > 1 {
+		return 0, fmt.Errorf("mining: minimum support must be in (0,1], got %g", opts.MinSupport)
+	}
+	c := int64(math.Ceil(opts.MinSupport * float64(n)))
+	if c < 1 {
+		c = 1
+	}
+	return c, nil
+}
+
+// scanOnce performs the first database pass: item supports and, when
+// precount is set, supports of pairs of top-abstraction-level items. With
+// workers > 1 the transactions are sharded and the per-worker maps merged;
+// the result is identical to the sequential scan.
+func scanOnce(syms *transact.Symbols, txs []transact.Transaction, precount bool, workers int) (map[transact.Item]int64, map[int64]int64) {
+	scan := func(part []transact.Transaction) (map[transact.Item]int64, map[int64]int64) {
+		items := make(map[transact.Item]int64)
+		var pairs map[int64]int64
+		if precount {
+			pairs = make(map[int64]int64)
+		}
+		var topBuf []transact.Item
+		for _, tx := range part {
+			for _, it := range tx {
+				items[it]++
+			}
+			if !precount {
+				continue
+			}
+			topBuf = topBuf[:0]
+			for _, it := range tx {
+				if syms.IsTopLevel(it) {
+					topBuf = append(topBuf, it)
+				}
+			}
+			for i := 0; i < len(topBuf); i++ {
+				for j := i + 1; j < len(topBuf); j++ {
+					pairs[pairKey(topBuf[i], topBuf[j])]++
+				}
+			}
+		}
+		return items, pairs
+	}
+	if workers <= 1 || len(txs) < 2*workers {
+		return scan(txs)
+	}
+	type result struct {
+		items map[transact.Item]int64
+		pairs map[int64]int64
+	}
+	results := make([]result, workers)
+	var wg sync.WaitGroup
+	chunk := (len(txs) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= len(txs) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(txs) {
+			hi = len(txs)
+		}
+		wg.Add(1)
+		go func(w int, part []transact.Transaction) {
+			defer wg.Done()
+			results[w].items, results[w].pairs = scan(part)
+		}(w, txs[lo:hi])
+	}
+	wg.Wait()
+	items := results[0].items
+	pairs := results[0].pairs
+	for _, r := range results[1:] {
+		for it, n := range r.items {
+			items[it] += n
+		}
+		for k, n := range r.pairs {
+			pairs[k] += n
+		}
+	}
+	return items, pairs
+}
+
+// pairKey packs an unordered item pair.
+func pairKey(a, b transact.Item) int64 {
+	if a > b {
+		a, b = b, a
+	}
+	return int64(a)<<32 | int64(uint32(b))
+}
+
+// Mine runs the level-wise loop of Algorithm 1 over the encoded
+// transactions. The symbol table must be the one that produced them.
+func Mine(syms *transact.Symbols, txs []transact.Transaction, opts Options) (*Result, error) {
+	minCount, err := ResolveMinCount(opts, len(txs))
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{MinCount: minCount}
+
+	// Scan 1: supports of single items, plus — under Precount — supports
+	// of pairs of high-abstraction-level items (paper: "collect frequent
+	// items of length 1 into L1, and pre-count patterns of length > 1 at
+	// high abstraction levels into P1").
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	itemCounts, pairCounts := scanOnce(syms, txs, opts.Precount, workers)
+	res.Scans = 1
+
+	var l1 []itemset.Counted
+	for it, n := range itemCounts {
+		if n >= minCount {
+			l1 = append(l1, itemset.Counted{Set: []transact.Item{it}, Count: n})
+		}
+	}
+	itemset.SortCounted(l1)
+	res.ByLength = append(res.ByLength, l1)
+	res.Levels = append(res.Levels, LevelStats{
+		Length: 1, Generated: len(itemCounts), Counted: len(itemCounts), Frequent: len(l1),
+	})
+
+	prev := l1
+	for k := 2; len(prev) > 0 && (opts.MaxLen == 0 || k <= opts.MaxLen); k++ {
+		cands := itemset.Join(prev)
+		stats := LevelStats{Length: k, Generated: len(cands)}
+
+		kept := cands[:0]
+		for _, c := range cands {
+			if opts.PruneAncestor && syms.HasAncestorPair(c) {
+				continue
+			}
+			if opts.PruneLink && !syms.AllLinkable(c) {
+				continue
+			}
+			if opts.Precount && k == 2 && precountPrunes(syms, pairCounts, c[0], c[1], minCount) {
+				continue
+			}
+			kept = append(kept, c)
+		}
+		stats.Pruned = stats.Generated - len(kept)
+		stats.Counted = len(kept)
+
+		if opts.CandidateLimit > 0 && len(kept) > opts.CandidateLimit {
+			res.Levels = append(res.Levels, stats)
+			res.Aborted = true
+			return res, nil
+		}
+		if len(kept) == 0 {
+			res.Levels = append(res.Levels, stats)
+			break
+		}
+
+		trie := itemset.NewTrie()
+		for _, c := range kept {
+			trie.Insert(c)
+		}
+		trie.CountParallel(txs, workers)
+		res.Scans++
+
+		lk := trie.Frequent(minCount)
+		stats.Frequent = len(lk)
+		res.Levels = append(res.Levels, stats)
+		res.ByLength = append(res.ByLength, lk)
+		prev = lk
+	}
+	return res, nil
+}
+
+// precountPrunes reports whether the pre-counted image pair of {a,b} proves
+// the candidate infrequent. The image of an item is itself when it is
+// already at the top abstraction level, its derivable top-level
+// generalization otherwise; when either image is unknown the candidate
+// cannot be pruned.
+func precountPrunes(syms *transact.Symbols, pairCounts map[int64]int64, a, b transact.Item, minCount int64) bool {
+	ia, ib := syms.PrecountImage(a), syms.PrecountImage(b)
+	if ia < 0 || ib < 0 || ia == ib {
+		return false
+	}
+	return pairCounts[pairKey(ia, ib)] < minCount
+}
+
+// Shared runs Algorithm 1 with all optimizations enabled.
+func Shared(syms *transact.Symbols, txs []transact.Transaction, minSupport float64) (*Result, error) {
+	return Mine(syms, txs, SharedOptions(minSupport))
+}
+
+// Basic runs the unoptimized baseline.
+func Basic(syms *transact.Symbols, txs []transact.Transaction, minSupport float64) (*Result, error) {
+	return Mine(syms, txs, BasicOptions(minSupport))
+}

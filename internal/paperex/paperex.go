@@ -1,0 +1,130 @@
+// Package paperex builds the paper's running example — the Table-1 path
+// database with its product/brand hierarchies and the Figure-5 location
+// hierarchy — as a shared fixture for tests and the example programs.
+package paperex
+
+import (
+	"flowcube/internal/hierarchy"
+	"flowcube/internal/pathdb"
+)
+
+// Example bundles the running-example schema, database and the concept ids
+// tests refer to by name.
+type Example struct {
+	Product  *hierarchy.Hierarchy
+	Brand    *hierarchy.Hierarchy
+	Location *hierarchy.Hierarchy
+	Schema   *pathdb.Schema
+	DB       *pathdb.DB
+}
+
+// New constructs the running example.
+//
+// Product hierarchy (Figure 2, restricted to the concepts Table 1 uses; the
+// paper omits the category level in its encoding because every product in
+// the example is clothing, but we keep it for completeness):
+//
+//   - → clothing → {shoes → {tennis, sandals}, outerwear → {shirt, jacket}}
+//
+// Brand hierarchy:
+//
+//   - → sports → {nike, adidas}
+//
+// Location hierarchy (Figure 5):
+//
+//   - → transportation → {dist.center(d), truck(t)}
+//     → factory(f)
+//     → store → {warehouse(w), backroom(b), shelf(s), checkout(c)}
+//
+// Table 1 places the warehouse under store's sibling set in the flow
+// diagrams; Figure 5 shows warehouse under store, which we follow.
+func New() *Example {
+	product := hierarchy.New("product")
+	product.MustAddPath("clothing", "shoes", "tennis")
+	product.MustAddPath("clothing", "shoes", "sandals")
+	product.MustAddPath("clothing", "outerwear", "shirt")
+	product.MustAddPath("clothing", "outerwear", "jacket")
+
+	brand := hierarchy.New("brand")
+	brand.MustAddPath("sports", "nike")
+	brand.MustAddPath("sports", "adidas")
+
+	location := hierarchy.New("location")
+	location.MustAddPath("transportation", "d") // distribution center
+	location.MustAddPath("transportation", "t") // truck
+	location.MustAddPath("factory", "f")
+	location.MustAddPath("store", "w") // warehouse
+	location.MustAddPath("store", "b") // backroom
+	location.MustAddPath("store", "s") // shelf
+	location.MustAddPath("store", "c") // checkout
+
+	schema := pathdb.MustNewSchema(location, product, brand)
+	db := pathdb.New(schema)
+
+	path := func(spec ...any) pathdb.Path {
+		var p pathdb.Path
+		for i := 0; i < len(spec); i += 2 {
+			p = append(p, pathdb.Stage{
+				Location: location.MustLookup(spec[i].(string)),
+				Duration: int64(spec[i+1].(int)),
+			})
+		}
+		return p
+	}
+	rec := func(prod, br string, p pathdb.Path) pathdb.Record {
+		return pathdb.Record{
+			Dims: []hierarchy.NodeID{product.MustLookup(prod), brand.MustLookup(br)},
+			Path: p,
+		}
+	}
+
+	// The eight Table-1 records, in order (ids 1..8 in the paper).
+	db.MustAppend(rec("tennis", "nike", path("f", 10, "d", 2, "t", 1, "s", 5, "c", 0)))
+	db.MustAppend(rec("tennis", "nike", path("f", 5, "d", 2, "t", 1, "s", 10, "c", 0)))
+	db.MustAppend(rec("sandals", "nike", path("f", 10, "d", 1, "t", 2, "s", 5, "c", 0)))
+	db.MustAppend(rec("shirt", "nike", path("f", 10, "t", 1, "s", 5, "c", 0)))
+	db.MustAppend(rec("jacket", "nike", path("f", 10, "t", 2, "s", 5, "c", 1)))
+	db.MustAppend(rec("jacket", "nike", path("f", 10, "t", 1, "w", 5)))
+	db.MustAppend(rec("tennis", "adidas", path("f", 5, "d", 2, "t", 2, "s", 20)))
+	db.MustAppend(rec("tennis", "adidas", path("f", 5, "d", 2, "t", 3, "s", 10, "d", 5)))
+
+	return &Example{
+		Product:  product,
+		Brand:    brand,
+		Location: location,
+		Schema:   schema,
+		DB:       db,
+	}
+}
+
+// BasePathLevel returns the identity path abstraction level: locations at
+// leaf detail, durations at source precision.
+func (e *Example) BasePathLevel() pathdb.PathLevel {
+	return pathdb.PathLevel{
+		Cut:  hierarchy.LevelCut(e.Location, e.Location.Depth()),
+		Time: pathdb.TimeBase,
+	}
+}
+
+// TransportPathLevel returns the §4.1 / Figure-5 cut
+// ⟨dist.center, truck, warehouse, factory, store⟩: transportation locations
+// and the warehouse at full detail, the remaining store locations collapsed
+// into "store". The warehouse is kept even though it sits below store in
+// the hierarchy — the deepest selected concept wins.
+func (e *Example) TransportPathLevel() pathdb.PathLevel {
+	cut, err := hierarchy.CutByNames(e.Location, "d", "t", "w", "factory", "store")
+	if err != nil {
+		panic(err)
+	}
+	return pathdb.PathLevel{Cut: cut, Time: pathdb.TimeBase}
+}
+
+// StorePathLevel returns the store manager's view of Figure 1: store
+// locations at full detail, transportation aggregated.
+func (e *Example) StorePathLevel() pathdb.PathLevel {
+	cut, err := hierarchy.CutByNames(e.Location, "transportation", "factory", "w", "b", "s", "c")
+	if err != nil {
+		panic(err)
+	}
+	return pathdb.PathLevel{Cut: cut, Time: pathdb.TimeBase}
+}

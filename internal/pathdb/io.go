@@ -1,0 +1,126 @@
+package pathdb
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The on-disk format is line oriented, one record per line:
+//
+//	dim1,dim2,...|loc:dur loc:dur ...
+//
+// using concept names. Blank lines and lines starting with '#' are ignored.
+// The schema is not serialized; readers supply it, which keeps data files
+// small and makes them diffable in tests.
+
+// WriteTo writes the database in the text format. It returns the number of
+// bytes written.
+func (db *DB) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	for _, r := range db.Records {
+		line := db.formatRecord(r)
+		m, err := bw.WriteString(line)
+		n += int64(m)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+func (db *DB) formatRecord(r Record) string {
+	var b strings.Builder
+	for i, v := range r.Dims {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(db.Schema.Dims[i].Name(v))
+	}
+	b.WriteByte('|')
+	for i, st := range r.Path {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(db.Schema.Location.Name(st.Location))
+		b.WriteByte(':')
+		b.WriteString(strconv.FormatInt(st.Duration, 10))
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// Read parses a database in the text format against the given schema.
+func Read(r io.Reader, schema *Schema) (*DB, error) {
+	db := New(schema)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		rec, err := parseRecord(line, schema)
+		if err != nil {
+			return nil, fmt.Errorf("pathdb: line %d: %w", lineNo, err)
+		}
+		if err := db.Append(rec); err != nil {
+			return nil, fmt.Errorf("pathdb: line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("pathdb: read: %w", err)
+	}
+	return db, nil
+}
+
+func parseRecord(line string, schema *Schema) (Record, error) {
+	dimsPart, pathPart, ok := strings.Cut(line, "|")
+	if !ok {
+		return Record{}, fmt.Errorf("missing '|' separator")
+	}
+	dimNames := splitNonEmpty(dimsPart, ",")
+	if len(dimNames) != len(schema.Dims) {
+		return Record{}, fmt.Errorf("got %d dimension values, schema has %d", len(dimNames), len(schema.Dims))
+	}
+	rec := Record{}
+	for i, name := range dimNames {
+		id, ok := schema.Dims[i].Lookup(strings.TrimSpace(name))
+		if !ok {
+			return Record{}, fmt.Errorf("unknown %s concept %q", schema.Dims[i].Dimension(), name)
+		}
+		rec.Dims = append(rec.Dims, id)
+	}
+	for _, tok := range strings.Fields(pathPart) {
+		locName, durStr, ok := strings.Cut(tok, ":")
+		if !ok {
+			return Record{}, fmt.Errorf("bad stage %q, want loc:dur", tok)
+		}
+		loc, ok := schema.Location.Lookup(locName)
+		if !ok {
+			return Record{}, fmt.Errorf("unknown location %q", locName)
+		}
+		dur, err := strconv.ParseInt(durStr, 10, 64)
+		if err != nil {
+			return Record{}, fmt.Errorf("bad duration %q: %v", durStr, err)
+		}
+		rec.Path = append(rec.Path, Stage{Location: loc, Duration: dur})
+	}
+	return rec, nil
+}
+
+func splitNonEmpty(s, sep string) []string {
+	parts := strings.Split(s, sep)
+	out := parts[:0]
+	for _, p := range parts {
+		if strings.TrimSpace(p) != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,329 @@
+// Package pdfa implements ALERGIA-style probabilistic deterministic finite
+// automaton induction over location paths (Carrasco & Oncina 1994; Thollard
+// et al. 2000 — the grammar-induction line the paper's related work §7
+// contrasts flowgraphs with).
+//
+// The learner builds a prefix-tree acceptor from the paths' location
+// sequences and greedily merges states whose outgoing behaviour —
+// termination frequency and per-symbol transition frequencies, recursively
+// — is compatible under a Hoeffding bound with parameter alpha. The result
+// is a compact PDFA that generalizes across branches, unlike the flowgraph,
+// which keeps one node per path prefix and instead models durations and
+// exceptions. The package exists to reproduce that comparison: see the
+// cross-model tests and the flowgraph-vs-PDFA example benchmarks.
+package pdfa
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"flowcube/internal/hierarchy"
+	"flowcube/internal/pathdb"
+)
+
+// State is one automaton state.
+type State struct {
+	id int
+	// terminations counts strings ending at this state.
+	terminations int64
+	// arrivals counts strings passing through or ending at this state.
+	arrivals int64
+	// next maps a location symbol to the successor state.
+	next map[hierarchy.NodeID]*State
+	// counts maps a location symbol to the number of strings taking it.
+	counts map[hierarchy.NodeID]int64
+	// merged points to the representative after a merge (union-find).
+	merged *State
+}
+
+func (s *State) find() *State {
+	for s.merged != nil {
+		s = s.merged
+	}
+	return s
+}
+
+// ID reports a stable identifier for the state (post-learning).
+func (s *State) ID() int { return s.id }
+
+// TerminationProb is the probability a string ends at this state.
+func (s *State) TerminationProb() float64 {
+	if s.arrivals == 0 {
+		return 0
+	}
+	return float64(s.terminations) / float64(s.arrivals)
+}
+
+// TransitionProb is the probability of emitting symbol l at this state.
+func (s *State) TransitionProb(l hierarchy.NodeID) float64 {
+	if s.arrivals == 0 {
+		return 0
+	}
+	return float64(s.counts[l]) / float64(s.arrivals)
+}
+
+// Automaton is a learned PDFA.
+type Automaton struct {
+	start  *State
+	states []*State
+	alpha  float64
+}
+
+// Options configures learning.
+type Options struct {
+	// Alpha is the Hoeffding-test significance in [0, 1). Because the
+	// Hoeffding bound is bounded away from zero for finite samples,
+	// low-frequency states always test compatible; Alpha = 0 therefore
+	// has the special meaning "never merge", yielding the frequency
+	// prefix-tree acceptor. The ALERGIA literature uses values around
+	// 0.05–0.7; smaller alpha widens the bound and merges more.
+	Alpha float64
+}
+
+// Learn induces a PDFA from the location sequences of the given paths.
+func Learn(paths []pathdb.Path, opts Options) (*Automaton, error) {
+	if opts.Alpha < 0 || opts.Alpha >= 1 {
+		return nil, fmt.Errorf("pdfa: alpha must be in [0,1), got %g", opts.Alpha)
+	}
+	a := &Automaton{alpha: opts.Alpha}
+	a.start = a.newState()
+
+	// 1. Prefix-tree acceptor with frequencies.
+	for _, p := range paths {
+		cur := a.start
+		cur.arrivals++
+		for _, st := range p {
+			l := st.Location
+			cur.counts[l]++
+			nxt := cur.next[l]
+			if nxt == nil {
+				nxt = a.newState()
+				cur.next[l] = nxt
+			}
+			nxt.arrivals++
+			cur = nxt
+		}
+		cur.terminations++
+	}
+
+	// 2. ALERGIA merge loop: consider states in breadth-first (lexico-
+	// graphic) order; try to merge each candidate into an earlier (red)
+	// state; otherwise promote it. Alpha = 0 skips merging entirely.
+	if a.alpha == 0 {
+		a.finalize()
+		return a, nil
+	}
+	red := []*State{a.start}
+	blue := a.successors(a.start, nil)
+	for len(blue) > 0 {
+		cand := blue[0].find()
+		blue = blue[1:]
+		if cand.isRedIn(red) {
+			continue
+		}
+		mergedInto := (*State)(nil)
+		for _, r := range red {
+			if a.compatible(r.find(), cand, a.alpha) {
+				mergedInto = r.find()
+				break
+			}
+		}
+		if mergedInto != nil {
+			a.merge(mergedInto, cand)
+		} else {
+			red = append(red, cand)
+			blue = append(blue, a.successors(cand, red)...)
+		}
+	}
+
+	// 3. Collapse the union-find into a clean state list.
+	a.finalize()
+	return a, nil
+}
+
+func (a *Automaton) newState() *State {
+	s := &State{
+		id:     len(a.states),
+		next:   make(map[hierarchy.NodeID]*State),
+		counts: make(map[hierarchy.NodeID]int64),
+	}
+	a.states = append(a.states, s)
+	return s
+}
+
+func (s *State) isRedIn(red []*State) bool {
+	f := s.find()
+	for _, r := range red {
+		if r.find() == f {
+			return true
+		}
+	}
+	return false
+}
+
+func (a *Automaton) successors(s *State, red []*State) []*State {
+	s = s.find()
+	syms := make([]hierarchy.NodeID, 0, len(s.next))
+	for l := range s.next {
+		syms = append(syms, l)
+	}
+	sort.Slice(syms, func(i, j int) bool { return syms[i] < syms[j] })
+	var out []*State
+	for _, l := range syms {
+		n := s.next[l].find()
+		if red == nil || !n.isRedIn(red) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// hoeffdingDiffer reports whether two frequencies are incompatible at
+// significance alpha.
+func hoeffdingDiffer(f1, n1, f2, n2 int64, alpha float64) bool {
+	if n1 == 0 || n2 == 0 {
+		return false
+	}
+	p1 := float64(f1) / float64(n1)
+	p2 := float64(f2) / float64(n2)
+	bound := math.Sqrt(0.5*math.Log(2/alpha)) * (1/math.Sqrt(float64(n1)) + 1/math.Sqrt(float64(n2)))
+	return math.Abs(p1-p2) > bound
+}
+
+// compatible recursively tests ALERGIA compatibility of two states.
+func (a *Automaton) compatible(x, y *State, alpha float64) bool {
+	return a.compatibleRec(x.find(), y.find(), alpha, make(map[[2]int]bool))
+}
+
+func (a *Automaton) compatibleRec(x, y *State, alpha float64, seen map[[2]int]bool) bool {
+	if x == y {
+		return true
+	}
+	key := [2]int{x.id, y.id}
+	if seen[key] {
+		return true // already being compared higher in the recursion
+	}
+	seen[key] = true
+	if hoeffdingDiffer(x.terminations, x.arrivals, y.terminations, y.arrivals, alpha) {
+		return false
+	}
+	syms := map[hierarchy.NodeID]bool{}
+	for l := range x.counts {
+		syms[l] = true
+	}
+	for l := range y.counts {
+		syms[l] = true
+	}
+	for l := range syms {
+		if hoeffdingDiffer(x.counts[l], x.arrivals, y.counts[l], y.arrivals, alpha) {
+			return false
+		}
+		nx, ny := x.next[l], y.next[l]
+		if nx != nil && ny != nil {
+			if !a.compatibleRec(nx.find(), ny.find(), alpha, seen) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// merge folds y into x, recursively folding successors (determinization).
+func (a *Automaton) merge(x, y *State) {
+	x, y = x.find(), y.find()
+	if x == y {
+		return
+	}
+	y.merged = x
+	x.arrivals += y.arrivals
+	x.terminations += y.terminations
+	for l, n := range y.counts {
+		x.counts[l] += n
+	}
+	for l, yn := range y.next {
+		if xn, ok := x.next[l]; ok {
+			a.merge(xn.find(), yn.find())
+		} else {
+			x.next[l] = yn.find()
+		}
+	}
+	y.next = nil
+	y.counts = nil
+}
+
+// finalize rewrites all transitions through the union-find and compacts
+// the state list to reachable representatives.
+func (a *Automaton) finalize() {
+	a.start = a.start.find()
+	var order []*State
+	seen := map[*State]bool{}
+	var visit func(s *State)
+	visit = func(s *State) {
+		s = s.find()
+		if seen[s] {
+			return
+		}
+		seen[s] = true
+		order = append(order, s)
+		syms := make([]hierarchy.NodeID, 0, len(s.next))
+		for l := range s.next {
+			syms = append(syms, l)
+		}
+		sort.Slice(syms, func(i, j int) bool { return syms[i] < syms[j] })
+		for _, l := range syms {
+			s.next[l] = s.next[l].find()
+			visit(s.next[l])
+		}
+	}
+	visit(a.start)
+	for i, s := range order {
+		s.id = i
+	}
+	a.states = order
+}
+
+// Start returns the initial state.
+func (a *Automaton) Start() *State { return a.start }
+
+// NumStates reports the automaton size after merging.
+func (a *Automaton) NumStates() int { return len(a.states) }
+
+// States returns the reachable states in visit order.
+func (a *Automaton) States() []*State { return a.states }
+
+// PathProb returns the probability the PDFA assigns to a path's location
+// sequence (durations are outside the model).
+func (a *Automaton) PathProb(p pathdb.Path) float64 {
+	cur := a.start
+	prob := 1.0
+	for _, st := range p {
+		prob *= cur.TransitionProb(st.Location)
+		nxt := cur.next[st.Location]
+		if nxt == nil || prob == 0 {
+			return 0
+		}
+		cur = nxt
+	}
+	return prob * cur.TerminationProb()
+}
+
+// String renders the automaton as one line per state.
+func (a *Automaton) String(loc *hierarchy.Hierarchy) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "pdfa (%d states)\n", len(a.states))
+	for _, s := range a.states {
+		fmt.Fprintf(&b, "  q%d term=%.2f", s.id, s.TerminationProb())
+		syms := make([]hierarchy.NodeID, 0, len(s.next))
+		for l := range s.next {
+			syms = append(syms, l)
+		}
+		sort.Slice(syms, func(i, j int) bool { return syms[i] < syms[j] })
+		for _, l := range syms {
+			fmt.Fprintf(&b, " %s:%.2f→q%d", loc.Name(l), s.TransitionProb(l), s.next[l].id)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,155 @@
+// Package procmine implements workflow induction over paths — the process
+// mining line (Agrawal, Gunopulos & Leymann 1998; van der Aalst & Weijters
+// 2004) that the paper's related work §7 identifies as the closest prior
+// approach to flowgraph construction.
+//
+// A workflow net here is a directed graph over locations: one node per
+// location (not per path prefix, unlike the flowgraph), edges weighted by
+// observed transition frequencies, plus start/termination frequencies per
+// node. The model is far smaller than a flowgraph but conflates contexts:
+// every visit to a location shares one outgoing distribution regardless of
+// how the item got there — exactly the limitation ("does not take activity
+// duration into account", no duplicate activities, no exceptions) the
+// paper's flowgraph addresses. The package exists to reproduce that
+// comparison; see the tests contrasting model sizes and predictive
+// behaviour.
+package procmine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"flowcube/internal/hierarchy"
+	"flowcube/internal/pathdb"
+	"flowcube/internal/stats"
+)
+
+// Net is an induced workflow net.
+type Net struct {
+	loc *hierarchy.Hierarchy
+	// starts counts paths beginning at each location.
+	starts *stats.Multinomial
+	// nodes maps a location to its activity statistics.
+	nodes map[hierarchy.NodeID]*Activity
+	paths int64
+}
+
+// Activity is one workflow node: a location with its observed behaviour.
+type Activity struct {
+	Location hierarchy.NodeID
+	// Visits counts stage occurrences (a path may visit more than once).
+	Visits int64
+	// Durations aggregates every stay at the location.
+	Durations *stats.Multinomial
+	// Out is the transition distribution to successor locations, with
+	// Terminate for path ends.
+	Out *stats.Multinomial
+}
+
+// Terminate is the outcome standing for "the path ends here".
+const Terminate = int64(-1)
+
+// Induce builds the workflow net of a path collection.
+func Induce(loc *hierarchy.Hierarchy, paths []pathdb.Path) *Net {
+	n := &Net{
+		loc:    loc,
+		starts: stats.NewMultinomial(),
+		nodes:  make(map[hierarchy.NodeID]*Activity),
+	}
+	for _, p := range paths {
+		if len(p) == 0 {
+			continue
+		}
+		n.paths++
+		n.starts.Observe(int64(p[0].Location))
+		for i, st := range p {
+			a := n.activity(st.Location)
+			a.Visits++
+			a.Durations.Observe(st.Duration)
+			if i+1 < len(p) {
+				a.Out.Observe(int64(p[i+1].Location))
+			} else {
+				a.Out.Observe(Terminate)
+			}
+		}
+	}
+	return n
+}
+
+func (n *Net) activity(l hierarchy.NodeID) *Activity {
+	a := n.nodes[l]
+	if a == nil {
+		a = &Activity{
+			Location:  l,
+			Durations: stats.NewMultinomial(),
+			Out:       stats.NewMultinomial(),
+		}
+		n.nodes[l] = a
+	}
+	return a
+}
+
+// Paths reports the number of paths summarized.
+func (n *Net) Paths() int64 { return n.paths }
+
+// NumActivities reports the number of distinct locations — the model size,
+// to contrast with a flowgraph's node count (one per distinct prefix).
+func (n *Net) NumActivities() int { return len(n.nodes) }
+
+// Activity returns the statistics for a location, or nil.
+func (n *Net) Activity(l hierarchy.NodeID) *Activity { return n.nodes[l] }
+
+// Activities returns all activities ordered by location id.
+func (n *Net) Activities() []*Activity {
+	out := make([]*Activity, 0, len(n.nodes))
+	for _, a := range n.nodes {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Location < out[j].Location })
+	return out
+}
+
+// PathProb is the first-order Markov probability the net assigns to a
+// path: start probability times per-location transition probabilities
+// (durations marginalized — the induced net, like the process-mining
+// models it reproduces, has no joint duration model).
+func (n *Net) PathProb(p pathdb.Path) float64 {
+	if len(p) == 0 || n.paths == 0 {
+		return 0
+	}
+	prob := n.starts.Prob(int64(p[0].Location))
+	for i := 0; i < len(p) && prob > 0; i++ {
+		a := n.nodes[p[i].Location]
+		if a == nil {
+			return 0
+		}
+		next := Terminate
+		if i+1 < len(p) {
+			next = int64(p[i+1].Location)
+		}
+		prob *= a.Out.Prob(next)
+	}
+	return prob
+}
+
+// String renders one line per activity.
+func (n *Net) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "workflow net (%d paths, %d activities)\n", n.paths, len(n.nodes))
+	for _, a := range n.Activities() {
+		fmt.Fprintf(&b, "  %s visits=%d dur[%s] out[", n.loc.Name(a.Location), a.Visits, a.Durations)
+		for i, v := range a.Out.Outcomes() {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			name := "end"
+			if v != Terminate {
+				name = n.loc.Name(hierarchy.NodeID(v))
+			}
+			fmt.Fprintf(&b, "%s:%.2f", name, a.Out.Prob(v))
+		}
+		b.WriteString("]\n")
+	}
+	return b.String()
+}

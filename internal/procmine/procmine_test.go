@@ -1,0 +1,117 @@
+package procmine_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"flowcube/internal/flowgraph"
+	"flowcube/internal/hierarchy"
+	"flowcube/internal/paperex"
+	"flowcube/internal/pathdb"
+	"flowcube/internal/procmine"
+)
+
+func basePaths(ex *paperex.Example) []pathdb.Path {
+	out := make([]pathdb.Path, 0, ex.DB.Len())
+	for _, r := range ex.DB.Records {
+		out = append(out, r.Path)
+	}
+	return out
+}
+
+func TestInduceRunningExample(t *testing.T) {
+	ex := paperex.New()
+	net := procmine.Induce(ex.Location, basePaths(ex))
+	if net.Paths() != 8 {
+		t.Fatalf("paths = %d", net.Paths())
+	}
+	// Six distinct locations appear in Table 1: f, d, t, s, c, w.
+	if net.NumActivities() != 6 {
+		t.Fatalf("activities = %d, want 6", net.NumActivities())
+	}
+	f := net.Activity(ex.Location.MustLookup("f"))
+	if f == nil || f.Visits != 8 {
+		t.Fatalf("factory activity wrong: %+v", f)
+	}
+	// From the factory: 5 paths to d, 3 to t.
+	if got := f.Out.Prob(int64(ex.Location.MustLookup("d"))); math.Abs(got-5.0/8) > 1e-9 {
+		t.Errorf("f→d = %g", got)
+	}
+	// The distribution center is visited 6 times across 5 paths (path 8
+	// returns to it): the workflow net counts visits, not paths.
+	d := net.Activity(ex.Location.MustLookup("d"))
+	if d.Visits != 6 {
+		t.Errorf("d visits = %d, want 6", d.Visits)
+	}
+	if net.Activity(hierarchy.NodeID(999)) != nil {
+		t.Errorf("unknown location returned an activity")
+	}
+}
+
+// TestContextConflation demonstrates the §7 point: the net shares one
+// outgoing distribution per location, so the truck's behaviour after
+// f→d→t and after f→t is conflated — while the flowgraph keeps the two
+// contexts apart.
+func TestContextConflation(t *testing.T) {
+	ex := paperex.New()
+	paths := basePaths(ex)
+	net := procmine.Induce(ex.Location, paths)
+	g := flowgraph.Build(ex.Location, ex.BasePathLevel(), paths, nil)
+
+	loc := func(n string) hierarchy.NodeID { return ex.Location.MustLookup(n) }
+	w := int64(loc("w"))
+	// Net: the truck is visited 8 times (every path), moving to the
+	// warehouse once — a pooled P(w|t) of 1/8 regardless of context.
+	if got := net.Activity(loc("t")).Out.Prob(w); math.Abs(got-1.0/8) > 1e-9 {
+		t.Fatalf("net P(w|t) = %g, want 1/8", got)
+	}
+	// Flowgraph: 1/3 in the f→t context, 0 in the f→d→t context.
+	ft := g.NodeAt([]hierarchy.NodeID{loc("f"), loc("t")})
+	fdt := g.NodeAt([]hierarchy.NodeID{loc("f"), loc("d"), loc("t")})
+	if got := ft.Transitions.Prob(w); math.Abs(got-1.0/3) > 1e-9 {
+		t.Fatalf("flowgraph P(w|f,t) = %g, want 1/3", got)
+	}
+	if got := fdt.Transitions.Prob(w); got != 0 {
+		t.Fatalf("flowgraph P(w|f,d,t) = %g, want 0", got)
+	}
+	// And the net is the smaller model: activities <= flowgraph nodes.
+	if net.NumActivities() >= len(g.Nodes()) {
+		t.Errorf("net (%d activities) not smaller than flowgraph (%d nodes)",
+			net.NumActivities(), len(g.Nodes()))
+	}
+}
+
+func TestPathProb(t *testing.T) {
+	ex := paperex.New()
+	paths := basePaths(ex)
+	net := procmine.Induce(ex.Location, paths)
+	// Every observed path gets positive probability; all-path mass over
+	// the (infinite) string space need not sum to 1, but each factor is a
+	// probability so the product is in (0,1].
+	for i, p := range paths {
+		pr := net.PathProb(p)
+		if pr <= 0 || pr > 1 {
+			t.Fatalf("path %d probability %g", i, pr)
+		}
+	}
+	// A path through an unseen location gets 0.
+	loc := ex.Location.MustLookup("b") // backroom never occurs in Table 1
+	if net.PathProb(pathdb.Path{{Location: loc, Duration: 1}}) != 0 {
+		t.Errorf("unseen location got positive probability")
+	}
+	if net.PathProb(nil) != 0 {
+		t.Errorf("empty path got positive probability")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	ex := paperex.New()
+	net := procmine.Induce(ex.Location, basePaths(ex))
+	s := net.String()
+	for _, want := range []string{"workflow net (8 paths", "visits=", "end:"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendering missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package starcube_test
+
+import (
+	"testing"
+
+	"flowcube/internal/cubing"
+	"flowcube/internal/datagen"
+	"flowcube/internal/hierarchy"
+	"flowcube/internal/mining"
+	"flowcube/internal/paperex"
+	"flowcube/internal/pathdb"
+	"flowcube/internal/starcube"
+	"flowcube/internal/transact"
+)
+
+func TestRunningExampleCells(t *testing.T) {
+	ex := paperex.New()
+	res, err := starcube.Build(ex.DB, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Leaf-level iceberg cells of Table 1 at δ=2: apex (8), tennis (4),
+	// jacket (2), nike (6), adidas (2), (tennis,nike) (2),
+	// (tennis,adidas) (2), (jacket,nike) (2).
+	want := map[string]int64{
+		starcube.Key([]hierarchy.NodeID{starcube.Star, starcube.Star}):                                   8,
+		starcube.Key([]hierarchy.NodeID{ex.Product.MustLookup("tennis"), starcube.Star}):                 4,
+		starcube.Key([]hierarchy.NodeID{ex.Product.MustLookup("jacket"), starcube.Star}):                 2,
+		starcube.Key([]hierarchy.NodeID{starcube.Star, ex.Brand.MustLookup("nike")}):                     6,
+		starcube.Key([]hierarchy.NodeID{starcube.Star, ex.Brand.MustLookup("adidas")}):                   2,
+		starcube.Key([]hierarchy.NodeID{ex.Product.MustLookup("tennis"), ex.Brand.MustLookup("nike")}):   2,
+		starcube.Key([]hierarchy.NodeID{ex.Product.MustLookup("tennis"), ex.Brand.MustLookup("adidas")}): 2,
+		starcube.Key([]hierarchy.NodeID{ex.Product.MustLookup("jacket"), ex.Brand.MustLookup("nike")}):   2,
+	}
+	if len(res.Cells) != len(want) {
+		t.Errorf("found %d cells, want %d: %v", len(res.Cells), len(want), res.SortedCells())
+	}
+	for k, n := range want {
+		if res.Cells[k] != n {
+			t.Errorf("cell %s = %d, want %d", k, res.Cells[k], n)
+		}
+	}
+	// Shirt and sandals occur once: star reduction must have removed them.
+	if _, ok := res.Cells[starcube.Key([]hierarchy.NodeID{ex.Product.MustLookup("shirt"), starcube.Star})]; ok {
+		t.Errorf("iceberg violated: shirt cell materialized")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	ex := paperex.New()
+	if _, err := starcube.Build(ex.DB, 0); err == nil {
+		t.Errorf("minCount 0 accepted")
+	}
+	// Threshold above N: no cells at all.
+	res, err := starcube.Build(ex.DB, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 0 {
+		t.Errorf("impossible threshold produced cells: %v", res.SortedCells())
+	}
+}
+
+// TestMatchesBUC cross-validates the star-tree cube against the BUC engine
+// in internal/cubing: restricted to leaf-level dimensions, both must
+// enumerate exactly the same iceberg cells with the same counts.
+func TestMatchesBUC(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		cfg := datagen.Default()
+		cfg.Seed = seed
+		cfg.NumPaths = 600
+		cfg.NumDims = 3
+		cfg.DimFanouts = [3]int{2, 2, 3}
+		ds := datagen.MustGenerate(cfg)
+
+		const minCount = 12
+		star, err := starcube.Build(ds.DB, minCount)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// BUC via the cubing engine with only the leaf level materialized
+		// per dimension (so its lattice is {*, leaf}^d, matching the
+		// star cube's).
+		leaf := hierarchy.LevelCut(ds.Schema.Location, ds.Schema.Location.Depth())
+		dimLevels := make([][]int, len(ds.Schema.Dims))
+		for i, h := range ds.Schema.Dims {
+			dimLevels[i] = []int{h.Depth()}
+		}
+		syms := transact.MustNewSymbols(ds.Schema, transact.Plan{
+			DimLevels:  dimLevels,
+			PathLevels: []pathdb.PathLevel{{Cut: leaf, Time: pathdb.TimeBase}},
+		})
+		syms.Encode(ds.DB)
+		buc, err := cubing.RunEngine(ds.DB, syms, mining.Options{MinCount: minCount, MaxLen: 1}, cubing.EngineApriori)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		if len(star.Cells) != len(buc.Cells) {
+			t.Fatalf("seed %d: star-cube found %d cells, BUC %d", seed, len(star.Cells), len(buc.Cells))
+		}
+		for _, cell := range buc.Cells {
+			// BUC cell keys encode the same values; rebuild a star key.
+			n, ok := star.Cells[starcube.Key(cell.Values)]
+			if !ok {
+				t.Fatalf("seed %d: BUC cell %v missing from star cube", seed, cell.Values)
+			}
+			if n != cell.Count {
+				t.Fatalf("seed %d: cell %v count %d vs BUC %d", seed, cell.Values, n, cell.Count)
+			}
+		}
+	}
+}
+
+func TestStarReductionShrinksTree(t *testing.T) {
+	cfg := datagen.Default()
+	cfg.NumPaths = 2000
+	cfg.NumDims = 3
+	ds := datagen.MustGenerate(cfg)
+	loose, err := starcube.Build(ds.DB, 1) // nothing starred
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := starcube.Build(ds.DB, 100) // heavy starring
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.TreeNodes >= loose.TreeNodes {
+		t.Errorf("star reduction did not shrink the tree: %d vs %d", tight.TreeNodes, loose.TreeNodes)
+	}
+}
+
+func TestKeyRoundTrip(t *testing.T) {
+	values := []hierarchy.NodeID{0, 17, 3}
+	back := starcube.FromKey(starcube.Key(values))
+	for i := range values {
+		if back[i] != values[i] {
+			t.Fatalf("round trip failed: %v vs %v", back, values)
+		}
+	}
+}

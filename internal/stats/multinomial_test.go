@@ -1,0 +1,238 @@
+package stats_test
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"flowcube/internal/stats"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestBasicCounts(t *testing.T) {
+	m := stats.NewMultinomial()
+	if m.Total() != 0 || m.Support() != 0 {
+		t.Fatalf("empty distribution not empty")
+	}
+	m.Observe(5)
+	m.Observe(5)
+	m.Observe(10)
+	if m.Total() != 3 || m.Support() != 2 {
+		t.Errorf("total=%d support=%d, want 3 and 2", m.Total(), m.Support())
+	}
+	if m.Count(5) != 2 || m.Count(10) != 1 || m.Count(99) != 0 {
+		t.Errorf("counts wrong")
+	}
+	if !approx(m.Prob(5), 2.0/3) || !approx(m.Prob(99), 0) {
+		t.Errorf("probs wrong")
+	}
+	if got := m.Outcomes(); len(got) != 2 || got[0] != 5 || got[1] != 10 {
+		t.Errorf("outcomes = %v", got)
+	}
+}
+
+func TestAddPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("Add(-1) did not panic")
+		}
+	}()
+	stats.NewMultinomial().Add(1, -1)
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var m stats.Multinomial
+	m.Observe(1)
+	if m.Total() != 1 {
+		t.Errorf("zero value not usable")
+	}
+}
+
+func TestMergeAndClone(t *testing.T) {
+	a := stats.NewMultinomial()
+	a.Add(1, 2)
+	a.Add(2, 3)
+	b := stats.NewMultinomial()
+	b.Add(2, 1)
+	b.Add(3, 4)
+	c := a.Clone()
+	c.Merge(b)
+	if c.Total() != 10 || c.Count(2) != 4 || c.Count(3) != 4 {
+		t.Errorf("merge wrong: %s", c)
+	}
+	if a.Total() != 5 {
+		t.Errorf("clone aliased the original")
+	}
+	c.Merge(nil) // must be a no-op
+	if c.Total() != 10 {
+		t.Errorf("Merge(nil) changed the distribution")
+	}
+}
+
+func TestModeAndMean(t *testing.T) {
+	m := stats.NewMultinomial()
+	if _, _, ok := m.Mode(); ok {
+		t.Errorf("empty Mode reported ok")
+	}
+	m.Add(5, 3)
+	m.Add(10, 5)
+	v, p, ok := m.Mode()
+	if !ok || v != 10 || !approx(p, 5.0/8) {
+		t.Errorf("mode = %d,%g", v, p)
+	}
+	if !approx(m.Mean(), (5*3+10*5)/8.0) {
+		t.Errorf("mean = %g", m.Mean())
+	}
+	// Tie breaks toward the smaller outcome.
+	tie := stats.NewMultinomial()
+	tie.Add(7, 2)
+	tie.Add(3, 2)
+	if v, _, _ := tie.Mode(); v != 3 {
+		t.Errorf("tie mode = %d, want 3", v)
+	}
+}
+
+func TestDeviations(t *testing.T) {
+	a := stats.NewMultinomial()
+	a.Add(1, 1)
+	a.Add(2, 1)
+	b := stats.NewMultinomial()
+	b.Add(1, 1)
+	b.Add(3, 1)
+	// probs: a={1:.5,2:.5}, b={1:.5,3:.5}: L∞=0.5, TV=(0+0.5+0.5)/2=0.5
+	if !approx(a.MaxDeviation(b), 0.5) {
+		t.Errorf("MaxDeviation = %g, want 0.5", a.MaxDeviation(b))
+	}
+	if !approx(a.TotalVariation(b), 0.5) {
+		t.Errorf("TotalVariation = %g, want 0.5", a.TotalVariation(b))
+	}
+	if !approx(a.MaxDeviation(a), 0) || !approx(a.TotalVariation(a), 0) {
+		t.Errorf("self deviation nonzero")
+	}
+}
+
+func TestKLDivergence(t *testing.T) {
+	a := stats.NewMultinomial()
+	a.Add(1, 50)
+	a.Add(2, 50)
+	b := stats.NewMultinomial()
+	b.Add(1, 90)
+	b.Add(2, 10)
+	if d := a.KLDivergence(a); !approx(d, 0) {
+		t.Errorf("self KL = %g", d)
+	}
+	if d := a.KLDivergence(b); d <= 0 {
+		t.Errorf("KL to a different distribution = %g, want > 0", d)
+	}
+	// Disjoint supports stay finite thanks to smoothing.
+	c := stats.NewMultinomial()
+	c.Add(7, 100)
+	if d := a.KLDivergence(c); math.IsInf(d, 0) || math.IsNaN(d) {
+		t.Errorf("disjoint-support KL not finite: %g", d)
+	}
+	// Empty vs empty.
+	e1, e2 := stats.NewMultinomial(), stats.NewMultinomial()
+	if d := e1.KLDivergence(e2); !approx(d, 0) {
+		t.Errorf("empty KL = %g", d)
+	}
+}
+
+func TestStringDeterministic(t *testing.T) {
+	m := stats.NewMultinomial()
+	m.Add(10, 5)
+	m.Add(5, 3)
+	if m.String() != "5:0.38 10:0.62" {
+		t.Errorf("String = %q", m.String())
+	}
+}
+
+// Property: probabilities always sum to 1 (within epsilon) for non-empty
+// distributions, and every probability is within [0,1].
+func TestProbSumProperty(t *testing.T) {
+	f := func(obs []uint8) bool {
+		if len(obs) == 0 {
+			return true
+		}
+		m := stats.NewMultinomial()
+		for _, o := range obs {
+			m.Observe(int64(o % 16))
+		}
+		sum := 0.0
+		for _, v := range m.Outcomes() {
+			p := m.Prob(v)
+			if p < 0 || p > 1 {
+				return false
+			}
+			sum += p
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: KL divergence is non-negative (Gibbs' inequality holds for the
+// smoothed estimates too).
+func TestKLNonNegativeProperty(t *testing.T) {
+	f := func(a, b []uint8) bool {
+		ma, mb := stats.NewMultinomial(), stats.NewMultinomial()
+		for _, o := range a {
+			ma.Observe(int64(o % 8))
+		}
+		for _, o := range b {
+			mb.Observe(int64(o % 8))
+		}
+		return ma.KLDivergence(mb) >= 0 && mb.KLDivergence(ma) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Merge is equivalent to observing the union of samples.
+func TestMergeEquivalenceProperty(t *testing.T) {
+	f := func(a, b []uint8) bool {
+		ma, mb, mu := stats.NewMultinomial(), stats.NewMultinomial(), stats.NewMultinomial()
+		for _, o := range a {
+			ma.Observe(int64(o))
+			mu.Observe(int64(o))
+		}
+		for _, o := range b {
+			mb.Observe(int64(o))
+			mu.Observe(int64(o))
+		}
+		ma.Merge(mb)
+		if ma.Total() != mu.Total() {
+			return false
+		}
+		for _, v := range mu.Outcomes() {
+			if ma.Count(v) != mu.Count(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: MaxDeviation is a symmetric pseudo-metric bounded by 1.
+func TestMaxDeviationProperty(t *testing.T) {
+	f := func(a, b []uint8) bool {
+		ma, mb := stats.NewMultinomial(), stats.NewMultinomial()
+		for _, o := range a {
+			ma.Observe(int64(o % 8))
+		}
+		for _, o := range b {
+			mb.Observe(int64(o % 8))
+		}
+		d1, d2 := ma.MaxDeviation(mb), mb.MaxDeviation(ma)
+		return approx(d1, d2) && d1 >= 0 && d1 <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,125 @@
+package transact_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"flowcube/internal/datagen"
+	"flowcube/internal/transact"
+)
+
+// Soundness properties of the encoding on random synthetic databases.
+// These are the invariants the Shared algorithm's pruning correctness
+// rests on; a violation would make pruning lossy rather than merely
+// aggressive.
+
+func randomDataset(seed int64) (*datagen.Dataset, *transact.Symbols, []transact.Transaction) {
+	cfg := datagen.Default()
+	cfg.Seed = seed
+	cfg.NumPaths = 120
+	cfg.NumDims = 2
+	cfg.NumSequences = 15
+	cfg.SeqLenMin, cfg.SeqLenMax = 2, 6
+	cfg.DurationDomain = 4
+	ds := datagen.MustGenerate(cfg)
+	syms := transact.MustNewSymbols(ds.Schema, ds.DefaultPlan())
+	return ds, syms, syms.Encode(ds.DB)
+}
+
+// TestAncestorsPresentInTransaction: every declared ancestor of every item
+// of a transaction is itself in the transaction. This is exactly the
+// property that makes the item+ancestor candidate prune lossless and the
+// pre-count support bound valid.
+func TestAncestorsPresentInTransaction(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		_, syms, txs := randomDataset(seed)
+		for ti, tx := range txs {
+			present := make(map[transact.Item]bool, len(tx))
+			for _, it := range tx {
+				present[it] = true
+			}
+			for _, it := range tx {
+				for _, anc := range syms.Ancestors(it) {
+					if !present[anc] {
+						t.Fatalf("seed %d tx %d: ancestor %s of %s missing from transaction",
+							seed, ti, syms.ItemString(anc), syms.ItemString(it))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPrecountImagePresent: an item's pre-count image, when defined, is in
+// every transaction containing the item.
+func TestPrecountImagePresent(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		_, syms, txs := randomDataset(seed)
+		for ti, tx := range txs {
+			present := make(map[transact.Item]bool, len(tx))
+			for _, it := range tx {
+				present[it] = true
+			}
+			for _, it := range tx {
+				img := syms.PrecountImage(it)
+				if img >= 0 && !present[img] {
+					t.Fatalf("seed %d tx %d: precount image %s of %s missing",
+						seed, ti, syms.ItemString(img), syms.ItemString(it))
+				}
+			}
+		}
+	}
+}
+
+// TestLinkabilitySound: any two items co-occurring in a real transaction
+// must be declared linkable — the prune may only remove pairs that can
+// never co-occur.
+func TestLinkabilitySound(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		_, syms, txs := randomDataset(seed)
+		rng := rand.New(rand.NewSource(seed))
+		for ti, tx := range txs {
+			// Exhaustive pairs are O(n²); sample for speed.
+			for k := 0; k < 200; k++ {
+				i, j := rng.Intn(len(tx)), rng.Intn(len(tx))
+				if i == j {
+					continue
+				}
+				if !syms.Linkable(tx[i], tx[j]) {
+					t.Fatalf("seed %d tx %d: co-occurring items %s and %s declared unlinkable",
+						seed, ti, syms.ItemString(tx[i]), syms.ItemString(tx[j]))
+				}
+			}
+		}
+	}
+}
+
+// TestEncodeDeterministic: encoding the same record twice produces the same
+// transaction.
+func TestEncodeDeterministic(t *testing.T) {
+	ds, syms, txs := randomDataset(42)
+	for i, r := range ds.DB.Records {
+		again := syms.EncodeRecord(r)
+		if len(again) != len(txs[i]) {
+			t.Fatalf("record %d re-encoded to different size", i)
+		}
+		for j := range again {
+			if again[j] != txs[i][j] {
+				t.Fatalf("record %d re-encoded differently at %d", i, j)
+			}
+		}
+	}
+}
+
+// TestTransactionSortedUnique: transactions are sorted and duplicate-free,
+// which the trie counter and join rely on.
+func TestTransactionSortedUnique(t *testing.T) {
+	_, _, txs := randomDataset(7)
+	for i, tx := range txs {
+		for j := 1; j < len(tx); j++ {
+			if tx[j] <= tx[j-1] {
+				t.Fatalf("transaction %d not strictly sorted at %d", i, j)
+			}
+		}
+	}
+}

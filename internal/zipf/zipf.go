@@ -1,0 +1,73 @@
+// Package zipf provides a deterministic Zipf-distributed sampler over a
+// finite integer domain [0, n).
+//
+// The FlowCube paper (§6.1) draws the values for concept-hierarchy levels,
+// stage locations and stage durations from a Zipf distribution with a
+// varying skew parameter alpha to simulate different degrees of data skew.
+// The standard library's math/rand Zipf requires s > 1; the paper sweeps
+// alpha through values at and below 1, so we implement the classic
+// finite-domain Zipf by inverse-transform sampling over the exact CDF.
+package zipf
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Zipf samples ranks in [0, N) with P(k) proportional to 1/(k+1)^Alpha.
+// Alpha = 0 degenerates to the uniform distribution. The zero value is not
+// usable; construct with New.
+type Zipf struct {
+	n   int
+	cdf []float64
+	rng *rand.Rand
+}
+
+// New returns a Zipf sampler over [0, n) with skew alpha >= 0, driven by the
+// given source. It panics if n <= 0 or alpha < 0, which indicate programmer
+// error rather than runtime conditions.
+func New(rng *rand.Rand, n int, alpha float64) *Zipf {
+	if n <= 0 {
+		panic(fmt.Sprintf("zipf: domain size must be positive, got %d", n))
+	}
+	if alpha < 0 {
+		panic(fmt.Sprintf("zipf: alpha must be non-negative, got %g", alpha))
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for k := 0; k < n; k++ {
+		sum += math.Pow(float64(k+1), -alpha)
+		cdf[k] = sum
+	}
+	for k := range cdf {
+		cdf[k] /= sum
+	}
+	return &Zipf{n: n, cdf: cdf, rng: rng}
+}
+
+// N reports the domain size.
+func (z *Zipf) N() int { return z.n }
+
+// Next draws one rank in [0, N()).
+func (z *Zipf) Next() int {
+	u := z.rng.Float64()
+	// sort.SearchFloat64s finds the first index with cdf[i] >= u.
+	i := sort.SearchFloat64s(z.cdf, u)
+	if i >= z.n {
+		i = z.n - 1
+	}
+	return i
+}
+
+// Prob reports the exact probability mass of rank k.
+func (z *Zipf) Prob(k int) float64 {
+	if k < 0 || k >= z.n {
+		return 0
+	}
+	if k == 0 {
+		return z.cdf[0]
+	}
+	return z.cdf[k] - z.cdf[k-1]
+}

@@ -1,0 +1,112 @@
+package zipf_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"flowcube/internal/zipf"
+)
+
+func TestPanicsOnBadArgs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, c := range []struct {
+		n     int
+		alpha float64
+	}{{0, 1}, {-3, 1}, {5, -0.1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d, %g) did not panic", c.n, c.alpha)
+				}
+			}()
+			zipf.New(rng, c.n, c.alpha)
+		}()
+	}
+}
+
+func TestUniformWhenAlphaZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	z := zipf.New(rng, 4, 0)
+	for k := 0; k < 4; k++ {
+		if math.Abs(z.Prob(k)-0.25) > 1e-12 {
+			t.Errorf("P(%d) = %g, want 0.25", k, z.Prob(k))
+		}
+	}
+}
+
+func TestProbMass(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	z := zipf.New(rng, 10, 1.2)
+	sum := 0.0
+	for k := 0; k < z.N(); k++ {
+		p := z.Prob(k)
+		if p <= 0 {
+			t.Errorf("P(%d) = %g, want > 0", k, p)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("probabilities sum to %g", sum)
+	}
+	if z.Prob(-1) != 0 || z.Prob(10) != 0 {
+		t.Errorf("out-of-range Prob not zero")
+	}
+}
+
+func TestSkewMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	z := zipf.New(rng, 8, 1.0)
+	for k := 1; k < z.N(); k++ {
+		if z.Prob(k) > z.Prob(k-1) {
+			t.Errorf("P(%d)=%g > P(%d)=%g; Zipf must be non-increasing", k, z.Prob(k), k-1, z.Prob(k-1))
+		}
+	}
+}
+
+func TestEmpiricalMatchesAnalytic(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	z := zipf.New(rng, 5, 0.8)
+	const n = 200000
+	counts := make([]int, 5)
+	for i := 0; i < n; i++ {
+		counts[z.Next()]++
+	}
+	for k := 0; k < 5; k++ {
+		got := float64(counts[k]) / n
+		want := z.Prob(k)
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("empirical P(%d) = %g, analytic %g", k, got, want)
+		}
+	}
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	a := zipf.New(rand.New(rand.NewSource(5)), 20, 1.1)
+	b := zipf.New(rand.New(rand.NewSource(5)), 20, 1.1)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+// Property: Next always lands in [0, N).
+func TestNextInRangeProperty(t *testing.T) {
+	f := func(seed int64, n uint8, alphaTenths uint8) bool {
+		domain := int(n%50) + 1
+		alpha := float64(alphaTenths%30) / 10
+		z := zipf.New(rand.New(rand.NewSource(seed)), domain, alpha)
+		for i := 0; i < 100; i++ {
+			k := z.Next()
+			if k < 0 || k >= domain {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
