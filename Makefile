@@ -1,0 +1,18 @@
+# Convenience targets; the source of truth for CI-style verification is
+# scripts/check.sh (vet + build + race-detector tests).
+
+.PHONY: build test check bench-serve
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+check:
+	./scripts/check.sh
+
+# Regenerate the serving latency microbenchmark in results/.
+bench-serve:
+	FLOWSERVE_RESULTS=results/serve_latency.json go test ./internal/server -run ServeLatency -v
+	go test ./internal/server -bench BenchmarkCell -run '^$$'

@@ -20,7 +20,6 @@ import (
 	"io"
 	"os"
 	"sort"
-	"strings"
 
 	"flowcube/internal/core"
 	"flowcube/internal/datagen"
@@ -170,29 +169,9 @@ func printSummary(w io.Writer, cube *core.Cube) {
 }
 
 func queryCell(stdout, stderr io.Writer, cube *core.Cube, ds *datagen.Dataset, spec string, pathLevel int, dot, exceptions bool, top int) error {
-	il := make(core.ItemLevel, len(ds.Schema.Dims))
-	values := make([]hierarchy.NodeID, len(ds.Schema.Dims))
-	for i := range values {
-		values[i] = hierarchy.Root
-	}
-	for _, pair := range strings.Split(spec, ",") {
-		name, concept, ok := strings.Cut(strings.TrimSpace(pair), "=")
-		if !ok {
-			return fmt.Errorf("bad -cell entry %q, want dim=concept", pair)
-		}
-		d := ds.Schema.DimIndex(name)
-		if d < 0 {
-			return fmt.Errorf("unknown dimension %q", name)
-		}
-		if concept == "*" {
-			continue
-		}
-		id, ok := ds.Schema.Dims[d].Lookup(concept)
-		if !ok {
-			return fmt.Errorf("unknown concept %q in dimension %q", concept, name)
-		}
-		values[d] = id
-		il[d] = ds.Schema.Dims[d].Level(id)
+	il, values, err := core.ParseCellSpec(ds.Schema, spec)
+	if err != nil {
+		return fmt.Errorf("-cell: %w", err)
 	}
 	cs := core.CuboidSpec{Item: il, PathLevel: pathLevel}
 

@@ -239,7 +239,7 @@ func (c *Cube) addCell(il ItemLevel, values []hierarchy.NodeID, count int64) {
 		cb.Cells[key] = &Cell{
 			Values:     append([]hierarchy.NodeID(nil), values...),
 			Count:      count,
-			Similarity: 1,
+			Similarity: SimilarityUnknown,
 		}
 	}
 }

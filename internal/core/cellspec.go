@@ -1,0 +1,63 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"flowcube/internal/hierarchy"
+	"flowcube/internal/pathdb"
+)
+
+// Textual cell addressing shared by the CLI tools and the query server: a
+// cell is named by comma-separated "dimension=concept" pairs, with '*' (or
+// omission) aggregating a dimension away. The item level of the addressed
+// cuboid is implied by the level each named concept sits at.
+
+// ParseCellSpec parses a cell specification like "product=shoes,brand=*"
+// against the schema. It returns the implied item level (0 for aggregated
+// dimensions) and the per-dimension values (hierarchy.Root for '*').
+// Unmentioned dimensions are aggregated. An empty spec addresses the apex
+// cell.
+func ParseCellSpec(schema *pathdb.Schema, spec string) (ItemLevel, []hierarchy.NodeID, error) {
+	il := make(ItemLevel, len(schema.Dims))
+	values := make([]hierarchy.NodeID, len(schema.Dims))
+	for i := range values {
+		values[i] = hierarchy.Root
+	}
+	if strings.TrimSpace(spec) == "" {
+		return il, values, nil
+	}
+	for _, pair := range strings.Split(spec, ",") {
+		name, concept, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok {
+			return nil, nil, fmt.Errorf("bad cell entry %q, want dim=concept", pair)
+		}
+		d := schema.DimIndex(name)
+		if d < 0 {
+			return nil, nil, fmt.Errorf("unknown dimension %q", name)
+		}
+		if concept == "*" {
+			il[d] = 0
+			values[d] = hierarchy.Root
+			continue
+		}
+		id, ok := schema.Dims[d].Lookup(concept)
+		if !ok {
+			return nil, nil, fmt.Errorf("unknown concept %q in dimension %q", concept, name)
+		}
+		values[d] = id
+		il[d] = schema.Dims[d].Level(id)
+	}
+	return il, values, nil
+}
+
+// FormatCell renders per-dimension values as the canonical cell
+// specification string, the inverse of ParseCellSpec up to dimension
+// ordering and explicit '*' entries.
+func FormatCell(schema *pathdb.Schema, values []hierarchy.NodeID) string {
+	parts := make([]string, len(values))
+	for d, v := range values {
+		parts[d] = schema.Dims[d].Dimension() + "=" + schema.Dims[d].Name(v)
+	}
+	return strings.Join(parts, ",")
+}

@@ -71,8 +71,12 @@ type Cell struct {
 	// item-lattice parents at the same path level (Definition 4.4); set by
 	// MarkRedundancy.
 	Redundant bool
-	// Similarity is the smallest parent similarity observed when marking
-	// redundancy (1 when the cell has no parents checked).
+	// Similarity is the smallest parent similarity ϕ observed when marking
+	// redundancy. It is SimilarityUnknown until MarkRedundancy runs, and
+	// stays SimilarityUnknown for cells with no materialized parents to
+	// compare against (the apex, or partially materialized lattices): such
+	// cells are never redundant, and a real ϕ in (0, 1] must not be
+	// fabricated for them.
 	Similarity float64
 
 	tids []int32
@@ -90,6 +94,12 @@ func cellKey(values []hierarchy.NodeID) string {
 	return b.String()
 }
 
+// SimilarityUnknown is the Cell.Similarity sentinel meaning "no parent
+// similarity has been measured": MarkRedundancy has not run, or the cell has
+// no materialized item-lattice parents to compare against. Valid measured
+// similarities lie in (0, 1].
+const SimilarityUnknown = -1
+
 // Cuboid is a materialized cuboid: its spec and frequent cells.
 type Cuboid struct {
 	Spec  CuboidSpec
@@ -97,6 +107,15 @@ type Cuboid struct {
 }
 
 // Cube is a materialized (iceberg, optionally non-redundant) flowcube.
+//
+// Concurrency: a finished cube is safe for concurrent readers. The read
+// paths — Cell, Cuboid, QueryGraph, NumCells, CuboidSummaries,
+// TopExceptions, Validate, SortedCells, and every flowgraph render/analysis
+// method they expose — do not mutate the cube or any lazily cached state.
+// Mutating operations (Append, MarkRedundancy, Compress) must not run
+// concurrently with readers; long-lived servers should treat a cube as
+// immutable after construction and swap whole-cube snapshots instead
+// (see internal/server).
 type Cube struct {
 	Schema  *pathdb.Schema
 	Config  Config
@@ -188,6 +207,40 @@ func (c *Cube) NumCells() int {
 		n += len(cb.Cells)
 	}
 	return n
+}
+
+// CuboidSummary describes one materialized cuboid: its identity and cell
+// counts.
+type CuboidSummary struct {
+	Key       string
+	Item      ItemLevel
+	PathLevel int
+	Cells     int
+	Redundant int
+}
+
+// CuboidSummaries returns a per-cuboid census sorted by cuboid key, so
+// long-lived consumers (e.g. query servers) can report on the cube without
+// iterating its internal maps. It is a pure read and safe under concurrent
+// readers.
+func (c *Cube) CuboidSummaries() []CuboidSummary {
+	out := make([]CuboidSummary, 0, len(c.Cuboids))
+	for key, cb := range c.Cuboids {
+		s := CuboidSummary{
+			Key:       key,
+			Item:      cb.Spec.Item,
+			PathLevel: cb.Spec.PathLevel,
+			Cells:     len(cb.Cells),
+		}
+		for _, cell := range cb.Cells {
+			if cell.Redundant {
+				s.Redundant++
+			}
+		}
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
 }
 
 // specsFromPlan enumerates every cuboid of the plan: the cross product of

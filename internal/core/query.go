@@ -51,6 +51,10 @@ func (c *Cube) parentRefs(spec CuboidSpec, values []hierarchy.NodeID) [](struct 
 // the cell's flowgraph is τ-similar to all of its materialized item-lattice
 // parents (and at least one parent exists). It records the weakest parent
 // similarity in Cell.Similarity and returns the number of redundant cells.
+// Cells with no materialized parents (the apex, or partially materialized
+// lattices) are left at SimilarityUnknown rather than a fabricated ϕ = 1,
+// which would read as "maximally redundant" in summaries and persisted
+// output.
 func (c *Cube) MarkRedundancy(tau float64) int {
 	n := 0
 	for _, cb := range c.Cuboids {
@@ -71,8 +75,13 @@ func (c *Cube) MarkRedundancy(tau float64) int {
 					minSim = sim
 				}
 			}
+			if compared == 0 {
+				cell.Similarity = SimilarityUnknown
+				cell.Redundant = false
+				continue
+			}
 			cell.Similarity = minSim
-			cell.Redundant = compared > 0 && minSim > tau
+			cell.Redundant = minSim > tau
 			if cell.Redundant {
 				n++
 			}

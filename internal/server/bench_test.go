@@ -1,0 +1,137 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"testing"
+	"time"
+)
+
+// Serving microbenchmarks: the same /v1/cell query answered from the LRU
+// cache versus recomputed every time (cache capacity < 0 disables storage).
+//
+//	go test ./internal/server -bench BenchmarkCell -run '^$'
+//
+// FLOWSERVE_RESULTS=path go test ./internal/server -run ServeLatency
+// additionally measures requests/sec with p50/p99 and writes the JSON
+// consumed by results/serve_latency.json.
+
+const benchQuery = "/v1/cell?cell=product=shoes,brand=nike&pathlevel=0"
+
+func benchServer(tb testing.TB, cacheSize int) *Server {
+	tb.Helper()
+	_, cube := buildExampleCube(tb)
+	cfg := quietConfig()
+	cfg.CacheSize = cacheSize
+	return newTestServer(tb, cube, cfg)
+}
+
+func serveOnce(tb testing.TB, h http.Handler, url string) {
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, url, nil))
+	if rec.Code != http.StatusOK {
+		tb.Fatalf("GET %s: %d", url, rec.Code)
+	}
+}
+
+func BenchmarkCellCached(b *testing.B) {
+	s := benchServer(b, DefaultCacheSize)
+	h := s.Handler()
+	serveOnce(b, h, benchQuery) // warm
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		serveOnce(b, h, benchQuery)
+	}
+}
+
+func BenchmarkCellUncached(b *testing.B) {
+	s := benchServer(b, -1)
+	h := s.Handler()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		serveOnce(b, h, benchQuery)
+	}
+}
+
+func BenchmarkCellCachedParallel(b *testing.B) {
+	s := benchServer(b, DefaultCacheSize)
+	h := s.Handler()
+	serveOnce(b, h, benchQuery)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			serveOnce(b, h, benchQuery)
+		}
+	})
+}
+
+type latencyStats struct {
+	Requests   int     `json:"requests"`
+	ReqPerSec  float64 `json:"requests_per_sec"`
+	P50Micros  float64 `json:"p50_us"`
+	P99Micros  float64 `json:"p99_us"`
+	MeanMicros float64 `json:"mean_us"`
+}
+
+func measure(tb testing.TB, h http.Handler, url string, n int) latencyStats {
+	lat := make([]time.Duration, n)
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		t0 := time.Now()
+		serveOnce(tb, h, url)
+		lat[i] = time.Since(t0)
+	}
+	total := time.Since(start)
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	var sum time.Duration
+	for _, d := range lat {
+		sum += d
+	}
+	return latencyStats{
+		Requests:   n,
+		ReqPerSec:  float64(n) / total.Seconds(),
+		P50Micros:  float64(lat[n/2].Nanoseconds()) / 1e3,
+		P99Micros:  float64(lat[n*99/100].Nanoseconds()) / 1e3,
+		MeanMicros: float64(sum.Nanoseconds()) / float64(n) / 1e3,
+	}
+}
+
+// TestServeLatencyResults regenerates results/serve_latency.json:
+//
+//	FLOWSERVE_RESULTS=results/serve_latency.json go test ./internal/server -run ServeLatency
+func TestServeLatencyResults(t *testing.T) {
+	out := os.Getenv("FLOWSERVE_RESULTS")
+	if out == "" {
+		t.Skip("set FLOWSERVE_RESULTS=<path> to write the serving latency microbenchmark")
+	}
+	const n = 5000
+
+	cachedSrv := benchServer(t, DefaultCacheSize)
+	serveOnce(t, cachedSrv.Handler(), benchQuery) // warm
+	cachedStats := measure(t, cachedSrv.Handler(), benchQuery, n)
+
+	uncachedSrv := benchServer(t, -1)
+	uncachedStats := measure(t, uncachedSrv.Handler(), benchQuery, n)
+
+	result := map[string]any{
+		"benchmark": "GET /v1/cell (paper running-example cube, single goroutine, httptest)",
+		"query":     benchQuery,
+		"command":   "FLOWSERVE_RESULTS=results/serve_latency.json go test ./internal/server -run ServeLatency",
+		"cached":    cachedStats,
+		"uncached":  uncachedStats,
+	}
+	body, err := json.MarshalIndent(result, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(body, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("cached: %.0f req/s p50=%.1fus p99=%.1fus; uncached: %.0f req/s p50=%.1fus p99=%.1fus\n",
+		cachedStats.ReqPerSec, cachedStats.P50Micros, cachedStats.P99Micros,
+		uncachedStats.ReqPerSec, uncachedStats.P50Micros, uncachedStats.P99Micros)
+}

@@ -1,0 +1,99 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Response cache for the query endpoints: a fixed-capacity LRU over
+// rendered responses, with single-flight deduplication so a thundering herd
+// of identical cell queries computes the answer once. Each snapshot owns
+// its own cache (see Snapshot), so a hot reload naturally invalidates every
+// cached response without a clear/race dance.
+
+// cached is one rendered response: everything a handler needs to replay it.
+type cached struct {
+	status      int
+	contentType string
+	body        []byte
+}
+
+// lru is a mutex-guarded LRU map with single-flight computation. A
+// capacity <= 0 disables storage (every call recomputes) but keeps the
+// single-flight deduplication.
+type lru struct {
+	mu       sync.Mutex
+	capacity int
+	order    *list.List // front = most recently used
+	items    map[string]*list.Element
+	inflight map[string]*flight
+}
+
+type lruEntry struct {
+	key string
+	val *cached
+}
+
+// flight is one in-progress computation; waiters block on done.
+type flight struct {
+	done chan struct{}
+	val  *cached
+	err  error
+}
+
+func newLRU(capacity int) *lru {
+	return &lru{
+		capacity: capacity,
+		order:    list.New(),
+		items:    make(map[string]*list.Element),
+		inflight: make(map[string]*flight),
+	}
+}
+
+// do returns the response for key, computing it with fn on a miss.
+// Concurrent callers for the same key share one fn call; hit reports
+// whether the caller avoided computing (cache hit or shared flight).
+// Errors are never cached.
+func (c *lru) do(key string, fn func() (*cached, error)) (v *cached, hit bool, err error) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.order.MoveToFront(el)
+		v := el.Value.(*lruEntry).val
+		c.mu.Unlock()
+		return v, true, nil
+	}
+	if f, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		<-f.done
+		if f.err != nil {
+			return nil, false, f.err
+		}
+		return f.val, true, nil
+	}
+	f := &flight{done: make(chan struct{})}
+	c.inflight[key] = f
+	c.mu.Unlock()
+
+	f.val, f.err = fn()
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if f.err == nil && c.capacity > 0 {
+		c.items[key] = c.order.PushFront(&lruEntry{key: key, val: f.val})
+		for len(c.items) > c.capacity {
+			last := c.order.Back()
+			c.order.Remove(last)
+			delete(c.items, last.Value.(*lruEntry).key)
+		}
+	}
+	c.mu.Unlock()
+	close(f.done)
+	return f.val, false, f.err
+}
+
+// len reports the number of stored responses.
+func (c *lru) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items)
+}

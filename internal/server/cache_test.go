@@ -1,0 +1,133 @@
+package server
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestLRUEviction(t *testing.T) {
+	c := newLRU(2)
+	calls := 0
+	get := func(key string) {
+		t.Helper()
+		if _, _, err := c.do(key, func() (*cached, error) {
+			calls++
+			return &cached{body: []byte(key)}, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	get("a")
+	get("b")
+	get("a") // refresh a: b is now least recently used
+	get("c") // evicts b
+	if c.len() != 2 {
+		t.Fatalf("cache holds %d entries, want 2", c.len())
+	}
+	if calls != 3 {
+		t.Fatalf("computed %d times, want 3", calls)
+	}
+	get("b") // must recompute
+	if calls != 4 {
+		t.Fatalf("evicted key did not recompute: %d calls, want 4", calls)
+	}
+	get("a") // a must have been evicted by b's reinsert or still present; either way no error
+}
+
+func TestLRUHitReporting(t *testing.T) {
+	c := newLRU(4)
+	_, hit, _ := c.do("k", func() (*cached, error) { return &cached{}, nil })
+	if hit {
+		t.Error("first call reported a hit")
+	}
+	_, hit, _ = c.do("k", func() (*cached, error) {
+		t.Fatal("cached key recomputed")
+		return nil, nil
+	})
+	if !hit {
+		t.Error("second call reported a miss")
+	}
+}
+
+func TestLRUSingleFlight(t *testing.T) {
+	c := newLRU(4)
+	var calls atomic.Int64
+	release := make(chan struct{})
+	started := make(chan struct{})
+
+	var wg sync.WaitGroup
+	hits := make([]bool, 8)
+	// One leader computes; everyone else must share its flight.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.do("k", func() (*cached, error) {
+			calls.Add(1)
+			close(started)
+			<-release
+			return &cached{body: []byte("v")}, nil
+		})
+	}()
+	<-started
+	for i := range hits {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, hit, err := c.do("k", func() (*cached, error) {
+				calls.Add(1)
+				return &cached{body: []byte("v")}, nil
+			})
+			if err != nil || string(v.body) != "v" {
+				t.Errorf("waiter got %v, %v", v, err)
+			}
+			hits[i] = hit
+		}(i)
+	}
+	close(release)
+	wg.Wait()
+
+	if n := calls.Load(); n != 1 {
+		t.Errorf("fn ran %d times, want 1 (single flight)", n)
+	}
+	for i, h := range hits {
+		if !h {
+			t.Errorf("waiter %d reported a miss", i)
+		}
+	}
+}
+
+func TestLRUErrorsNotCached(t *testing.T) {
+	c := newLRU(4)
+	calls := 0
+	boom := errors.New("boom")
+	for i := 0; i < 2; i++ {
+		if _, _, err := c.do("k", func() (*cached, error) {
+			calls++
+			return nil, boom
+		}); !errors.Is(err, boom) {
+			t.Fatalf("call %d: err = %v, want boom", i, err)
+		}
+	}
+	if calls != 2 {
+		t.Errorf("error was cached: %d calls, want 2", calls)
+	}
+}
+
+func TestLRUDisabledStillDeduplicates(t *testing.T) {
+	c := newLRU(0)
+	calls := 0
+	for i := 0; i < 3; i++ {
+		c.do("k", func() (*cached, error) {
+			calls++
+			return &cached{}, nil
+		})
+	}
+	if calls != 3 {
+		t.Errorf("disabled cache stored responses: %d calls, want 3", calls)
+	}
+	if c.len() != 0 {
+		t.Errorf("disabled cache holds %d entries", c.len())
+	}
+}

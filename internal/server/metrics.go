@@ -1,0 +1,163 @@
+package server
+
+import (
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Serving metrics, stdlib only: per-route request counts, error counts and
+// a fixed-bucket latency histogram, plus cube-cache counters. Exposed as
+// plain JSON on GET /metrics; the histogram buckets are cumulative-friendly
+// (each bucket counts observations at or below its bound) so p50/p99 can be
+// estimated server-side without retaining samples.
+
+// latencyBoundsMs are the histogram bucket upper bounds in milliseconds;
+// an implicit overflow bucket catches everything slower.
+var latencyBoundsMs = []float64{
+	0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 1000,
+}
+
+type routeStats struct {
+	count   int64
+	errors  int64 // responses with status >= 400
+	totalNs int64
+	buckets []int64 // len(latencyBoundsMs)+1, last = overflow
+	maxNs   int64
+}
+
+type metrics struct {
+	start time.Time
+
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+	reloads     atomic.Int64
+
+	mu     sync.Mutex
+	routes map[string]*routeStats
+}
+
+func newMetrics() *metrics {
+	return &metrics{start: time.Now(), routes: make(map[string]*routeStats)}
+}
+
+// observe records one served request.
+func (m *metrics) observe(route string, status int, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rs := m.routes[route]
+	if rs == nil {
+		rs = &routeStats{buckets: make([]int64, len(latencyBoundsMs)+1)}
+		m.routes[route] = rs
+	}
+	rs.count++
+	if status >= 400 {
+		rs.errors++
+	}
+	rs.totalNs += d.Nanoseconds()
+	if d.Nanoseconds() > rs.maxNs {
+		rs.maxNs = d.Nanoseconds()
+	}
+	ms := float64(d.Nanoseconds()) / 1e6
+	i := sort.SearchFloat64s(latencyBoundsMs, ms)
+	rs.buckets[i]++
+}
+
+// quantileMs estimates a latency quantile from the histogram: the upper
+// bound of the bucket holding the q-th observation (the recorded maximum
+// for the overflow bucket).
+func (rs *routeStats) quantileMs(q float64) float64 {
+	if rs.count == 0 {
+		return 0
+	}
+	rank := int64(q * float64(rs.count))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, n := range rs.buckets {
+		cum += n
+		if cum >= rank {
+			if i < len(latencyBoundsMs) {
+				return latencyBoundsMs[i]
+			}
+			return float64(rs.maxNs) / 1e6
+		}
+	}
+	return float64(rs.maxNs) / 1e6
+}
+
+// RouteMetrics is the JSON shape of one route's counters.
+type RouteMetrics struct {
+	Count   int64            `json:"count"`
+	Errors  int64            `json:"errors"`
+	MeanMs  float64          `json:"mean_ms"`
+	P50Ms   float64          `json:"p50_ms"`
+	P99Ms   float64          `json:"p99_ms"`
+	MaxMs   float64          `json:"max_ms"`
+	Buckets map[string]int64 `json:"buckets_ms_le,omitempty"`
+}
+
+// CacheMetrics is the JSON shape of the response-cache counters.
+type CacheMetrics struct {
+	Hits     int64   `json:"hits"`
+	Misses   int64   `json:"misses"`
+	HitRatio float64 `json:"hit_ratio"`
+}
+
+// MetricsSnapshot is the GET /metrics response body.
+type MetricsSnapshot struct {
+	UptimeSeconds float64                 `json:"uptime_seconds"`
+	Reloads       int64                   `json:"reloads"`
+	Cache         CacheMetrics            `json:"cache"`
+	Routes        map[string]RouteMetrics `json:"routes"`
+}
+
+// snapshot captures every counter for serialization.
+func (m *metrics) snapshot() MetricsSnapshot {
+	out := MetricsSnapshot{
+		UptimeSeconds: time.Since(m.start).Seconds(),
+		Reloads:       m.reloads.Load(),
+		Routes:        make(map[string]RouteMetrics),
+	}
+	hits, misses := m.cacheHits.Load(), m.cacheMisses.Load()
+	out.Cache = CacheMetrics{Hits: hits, Misses: misses}
+	if hits+misses > 0 {
+		out.Cache.HitRatio = float64(hits) / float64(hits+misses)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for route, rs := range m.routes {
+		rm := RouteMetrics{
+			Count:   rs.count,
+			Errors:  rs.errors,
+			P50Ms:   rs.quantileMs(0.50),
+			P99Ms:   rs.quantileMs(0.99),
+			MaxMs:   float64(rs.maxNs) / 1e6,
+			Buckets: make(map[string]int64, len(rs.buckets)),
+		}
+		if rs.count > 0 {
+			rm.MeanMs = float64(rs.totalNs) / float64(rs.count) / 1e6
+		}
+		for i, n := range rs.buckets {
+			if n == 0 {
+				continue
+			}
+			if i < len(latencyBoundsMs) {
+				rm.Buckets[formatBound(latencyBoundsMs[i])] = n
+			} else {
+				rm.Buckets["+inf"] = n
+			}
+		}
+		out.Routes[route] = rm
+	}
+	return out
+}
+
+// formatBound renders a bucket bound as a stable JSON key: 0.05 → "0.05",
+// 1 → "1".
+func formatBound(ms float64) string {
+	return strconv.FormatFloat(ms, 'g', -1, 64)
+}

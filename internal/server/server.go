@@ -1,0 +1,355 @@
+// Package server is the online serving layer over materialized flowcubes:
+// an HTTP/JSON API that loads a cube snapshot once (or builds it from a
+// path database) and answers concurrent read traffic — the "materialize
+// once, query many times" access pattern OLAP assumes, which the one-shot
+// CLI tools cannot express.
+//
+// Endpoints:
+//
+//	GET  /v1/cell?cell=dim=concept,...&pathlevel=N[&format=dot]  flowgraph
+//	     query with roll-up inference (core.Cube.QueryGraph)
+//	GET  /v1/summary      cuboid/cell census of the serving snapshot
+//	GET  /v1/exceptions   most severe exceptions across the cube
+//	GET  /healthz         liveness plus snapshot identity
+//	GET  /metrics         request counts, latency histograms, cache ratio
+//	POST /admin/reload    re-run the loader and atomically swap the snapshot
+//
+// The cube is held behind an RWMutex-guarded snapshot pointer; queries are
+// answered through a per-snapshot LRU response cache with single-flight
+// deduplication. Requests carry a context deadline, are logged, and the
+// listener shuts down gracefully when the serve context is cancelled.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+
+	"flowcube/internal/core"
+)
+
+// Config parameterizes the server. The zero value serves with defaults.
+type Config struct {
+	// RequestTimeout bounds each query request via its context; 0 means
+	// DefaultRequestTimeout.
+	RequestTimeout time.Duration
+	// CacheSize is the per-snapshot response cache capacity in entries;
+	// 0 means DefaultCacheSize, negative disables caching.
+	CacheSize int
+	// Logger receives one line per request and reload events; nil logs to
+	// the standard logger. Use log.New(io.Discard, ...) to silence.
+	Logger *log.Logger
+}
+
+// Defaults for Config zero values.
+const (
+	DefaultRequestTimeout = 10 * time.Second
+	DefaultCacheSize      = 1024
+)
+
+// Server serves read traffic over one cube snapshot at a time.
+type Server struct {
+	cfg     Config
+	loader  Loader
+	source  string
+	holder  holder
+	metrics *metrics
+	logger  *log.Logger
+	handler http.Handler
+}
+
+// New loads the initial snapshot through loader and returns a ready server.
+// source is a human-readable description of where snapshots come from
+// (typically the file path), echoed by /healthz and /v1/summary.
+func New(loader Loader, source string, cfg Config) (*Server, error) {
+	if cfg.RequestTimeout == 0 {
+		cfg.RequestTimeout = DefaultRequestTimeout
+	}
+	if cfg.CacheSize == 0 {
+		cfg.CacheSize = DefaultCacheSize
+	}
+	s := &Server{
+		cfg:     cfg,
+		loader:  loader,
+		source:  source,
+		metrics: newMetrics(),
+		logger:  cfg.Logger,
+	}
+	if s.logger == nil {
+		s.logger = log.Default()
+	}
+	cube, err := loader()
+	if err != nil {
+		return nil, err
+	}
+	s.holder.set(newSnapshot(cube, source, cfg.CacheSize))
+	s.handler = s.routes()
+	return s, nil
+}
+
+// Snapshot returns the current serving snapshot.
+func (s *Server) Snapshot() *Snapshot { return s.holder.get() }
+
+// Metrics returns a point-in-time copy of the serving metrics.
+func (s *Server) Metrics() MetricsSnapshot { return s.metrics.snapshot() }
+
+// Handler returns the fully assembled HTTP handler (routing, logging,
+// metrics, per-request timeouts).
+func (s *Server) Handler() http.Handler { return s.handler }
+
+func (s *Server) routes() http.Handler {
+	mux := http.NewServeMux()
+	timeout := func(h http.HandlerFunc) http.Handler {
+		// TimeoutHandler propagates the deadline through r.Context() and
+		// answers 503 when a query overruns it.
+		return http.TimeoutHandler(h, s.cfg.RequestTimeout,
+			`{"error":"request timed out"}`)
+	}
+	mux.Handle("GET /v1/cell", timeout(s.handleCell))
+	mux.Handle("GET /v1/summary", timeout(s.handleSummary))
+	mux.Handle("GET /v1/exceptions", timeout(s.handleExceptions))
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("POST /admin/reload", s.handleReload)
+	return s.instrument(mux)
+}
+
+// statusWriter captures the response status for logging and metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps the router with request logging and latency metrics,
+// keyed by method+path (query strings excluded).
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(sw, r)
+		elapsed := time.Since(start)
+		route := r.Method + " " + r.URL.Path
+		s.metrics.observe(route, sw.status, elapsed)
+		s.logger.Printf("%s %s %d %s", r.Method, r.URL.RequestURI(), sw.status, elapsed.Round(time.Microsecond))
+	})
+}
+
+// httpError carries a status code through the cache-compute path.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func errorStatus(err error) int {
+	var he *httpError
+	if errors.As(err, &he) {
+		return he.status
+	}
+	return http.StatusInternalServerError
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client gone; nothing to do
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	writeJSON(w, errorStatus(err), map[string]string{"error": err.Error()})
+}
+
+// handleCell answers a flowgraph query. Identical queries are answered from
+// the snapshot's LRU cache; concurrent identical misses share one
+// computation.
+func (s *Server) handleCell(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	cellSpec := q.Get("cell")
+	format := q.Get("format")
+	if format == "" {
+		format = "json"
+	}
+	if format != "json" && format != "dot" {
+		writeError(w, &httpError{http.StatusBadRequest, fmt.Sprintf("unknown format %q, want json or dot", format)})
+		return
+	}
+	pathLevel := 0
+	if pl := q.Get("pathlevel"); pl != "" {
+		n, err := strconv.Atoi(pl)
+		if err != nil {
+			writeError(w, &httpError{http.StatusBadRequest, fmt.Sprintf("bad pathlevel %q", pl)})
+			return
+		}
+		pathLevel = n
+	}
+
+	snap := s.holder.get()
+	key := format + "|" + strconv.Itoa(pathLevel) + "|" + cellSpec
+	v, hit, err := snap.cache.do(key, func() (*cached, error) {
+		return computeCell(snap.Cube, cellSpec, pathLevel, format)
+	})
+	if err != nil {
+		s.metrics.cacheMisses.Add(1)
+		writeError(w, err)
+		return
+	}
+	if hit {
+		s.metrics.cacheHits.Add(1)
+	} else {
+		s.metrics.cacheMisses.Add(1)
+	}
+	if err := r.Context().Err(); err != nil {
+		// The deadline fired while we computed; TimeoutHandler already
+		// answered 503 and our write would be dropped.
+		return
+	}
+	w.Header().Set("Content-Type", v.contentType)
+	if hit {
+		w.Header().Set("X-Cache", "hit")
+	} else {
+		w.Header().Set("X-Cache", "miss")
+	}
+	w.WriteHeader(v.status)
+	w.Write(v.body) //nolint:errcheck
+}
+
+// computeCell resolves and renders one cell query; the result is cacheable
+// (errors are not cached).
+func computeCell(cube *core.Cube, cellSpec string, pathLevel int, format string) (*cached, error) {
+	il, values, err := core.ParseCellSpec(cube.Schema, cellSpec)
+	if err != nil {
+		return nil, &httpError{http.StatusBadRequest, err.Error()}
+	}
+	if pathLevel < 0 || pathLevel >= len(cube.Symbols.PathLevels()) {
+		return nil, &httpError{http.StatusBadRequest,
+			fmt.Sprintf("pathlevel %d out of range, cube has %d path levels", pathLevel, len(cube.Symbols.PathLevels()))}
+	}
+	spec := core.CuboidSpec{Item: il, PathLevel: pathLevel}
+	g, src, exact, ok := cube.QueryGraph(spec, values)
+	if !ok {
+		return nil, &httpError{http.StatusNotFound,
+			fmt.Sprintf("no materialized cell answers %q (even by roll-up)", cellSpec)}
+	}
+	if format == "dot" {
+		name := cellSpec
+		if name == "" {
+			name = "apex"
+		}
+		return &cached{
+			status:      http.StatusOK,
+			contentType: "text/vnd.graphviz; charset=utf-8",
+			body:        []byte(g.DOT(name)),
+		}, nil
+	}
+	resp := CellResponse{
+		Cell:      core.FormatCell(cube.Schema, values),
+		PathLevel: pathLevel,
+		Exact:     exact,
+		Source:    renderCellRef(cube, src),
+		Graph:     renderGraph(cube.Schema.Location, g),
+	}
+	body, err := json.MarshalIndent(resp, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return &cached{status: http.StatusOK, contentType: "application/json", body: body}, nil
+}
+
+func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, renderSummary(s.holder.get()))
+}
+
+func (s *Server) handleExceptions(w http.ResponseWriter, r *http.Request) {
+	k := 20
+	if kq := r.URL.Query().Get("k"); kq != "" {
+		n, err := strconv.Atoi(kq)
+		if err != nil || n < 0 {
+			writeError(w, &httpError{http.StatusBadRequest, fmt.Sprintf("bad k %q", kq)})
+			return
+		}
+		k = n
+	}
+	cube := s.holder.get().Cube
+	writeJSON(w, http.StatusOK, map[string]any{
+		"exceptions": renderExceptions(cube, k),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	snap := s.holder.get()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"source":    snap.Source,
+		"loaded_at": snap.LoadedAt.UTC().Format(time.RFC3339),
+		"cells":     snap.Cube.NumCells(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.metrics.snapshot())
+}
+
+// handleReload re-runs the loader and swaps the serving snapshot. In-flight
+// queries keep the snapshot (and cache) they started with; the swap is a
+// single guarded pointer write.
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	cube, err := s.loader()
+	if err != nil {
+		writeError(w, fmt.Errorf("reload: %w", err))
+		return
+	}
+	snap := newSnapshot(cube, s.source, s.cfg.CacheSize)
+	s.holder.set(snap)
+	s.metrics.reloads.Add(1)
+	s.logger.Printf("reloaded snapshot from %s: %d cells", snap.Source, cube.NumCells())
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "reloaded",
+		"cells":     cube.NumCells(),
+		"loaded_at": snap.LoadedAt.UTC().Format(time.RFC3339),
+	})
+}
+
+// Serve accepts connections on ln until ctx is cancelled, then shuts down
+// gracefully (draining in-flight requests, bounded by RequestTimeout).
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	srv := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), s.cfg.RequestTimeout)
+		defer cancel()
+		err := srv.Shutdown(shutdownCtx)
+		<-errc // Serve has returned http.ErrServerClosed
+		return err
+	}
+}
+
+// ListenAndServe binds addr and calls Serve.
+func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.logger.Printf("listening on %s", ln.Addr())
+	return s.Serve(ctx, ln)
+}

@@ -1,0 +1,116 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"flowcube/internal/core"
+	"flowcube/internal/datagen"
+)
+
+// Snapshot wraps one immutable materialized cube for serving. The cube is
+// never mutated after construction (see the concurrency contract on
+// core.Cube); a hot reload builds a whole new Snapshot and swaps the
+// pointer, so in-flight requests finish against the snapshot they started
+// with. Each snapshot owns its response cache, which makes reloads
+// self-invalidating.
+type Snapshot struct {
+	Cube     *core.Cube
+	Source   string
+	LoadedAt time.Time
+
+	cache *lru
+}
+
+func newSnapshot(cube *core.Cube, source string, cacheSize int) *Snapshot {
+	return &Snapshot{
+		Cube:     cube,
+		Source:   source,
+		LoadedAt: time.Now(),
+		cache:    newLRU(cacheSize),
+	}
+}
+
+// holder is the RWMutex-guarded snapshot pointer: many concurrent readers,
+// one writer during reload.
+type holder struct {
+	mu   sync.RWMutex
+	snap *Snapshot
+}
+
+func (h *holder) get() *Snapshot {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.snap
+}
+
+func (h *holder) set(s *Snapshot) {
+	h.mu.Lock()
+	h.snap = s
+	h.mu.Unlock()
+}
+
+// Loader produces a fresh cube; it is called once at startup and again on
+// every POST /admin/reload. It must return a cube no other goroutine will
+// mutate.
+type Loader func() (*core.Cube, error)
+
+// BuildOptions parameterize cube construction when the loader starts from a
+// raw path database rather than a persisted cube.
+type BuildOptions struct {
+	// MinSupport is the iceberg threshold δ as a fraction of the database.
+	MinSupport float64
+	// Epsilon is the minimum deviation ε for exceptions.
+	Epsilon float64
+	// Tau is the redundancy threshold τ; 0 disables redundancy marking.
+	Tau float64
+	// MineExceptions computes flowgraph exceptions (the holistic, expensive
+	// part of the measure).
+	MineExceptions bool
+	// Workers spreads flowgraph construction across goroutines.
+	Workers int
+}
+
+// FileLoader returns a Loader over a file path holding either a persisted
+// cube (flowquery -save, typically .fcb) or a flowgen path database
+// (typically .fdb). The format is sniffed, not inferred from the extension:
+// a cube load is attempted first, then a dataset read plus a full Build
+// with opts. Reload re-reads the file, so replacing it on disk and POSTing
+// /admin/reload rolls the serving snapshot forward.
+func FileLoader(path string, opts BuildOptions) Loader {
+	return func() (*core.Cube, error) {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		cube, cubeErr := core.Load(f)
+		if cubeErr == nil {
+			return cube, nil
+		}
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			return nil, err
+		}
+		ds, dsErr := datagen.Read(f)
+		if dsErr != nil {
+			return nil, fmt.Errorf("server: %s is neither a saved cube (%v) nor a path database (%v)",
+				path, cubeErr, dsErr)
+		}
+		cube, err = core.Build(ds.DB, core.Config{
+			MinSupport:            opts.MinSupport,
+			Epsilon:               opts.Epsilon,
+			Tau:                   opts.Tau,
+			Plan:                  ds.DefaultPlan(),
+			MineExceptions:        opts.MineExceptions,
+			SingleStageExceptions: opts.MineExceptions,
+			Workers:               opts.Workers,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("server: build cube from %s: %w", path, err)
+		}
+		return cube, nil
+	}
+}

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Repo verify path: static analysis plus the full test suite under the race
+# detector. The race run is what keeps the concurrent serving layer
+# (internal/server, cmd/flowserve) honest — snapshot hot-reload, the
+# single-flight response cache and graceful shutdown are all exercised by
+# tests that hammer the server from many goroutines.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "ok"
