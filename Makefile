@@ -1,7 +1,8 @@
 # Convenience targets; the source of truth for CI-style verification is
-# scripts/check.sh (vet + build + race-detector tests).
+# scripts/check.sh (vet + build + flowlint + race-detector tests + short
+# fuzz).
 
-.PHONY: build test check bench-serve
+.PHONY: build test check lint fuzz-short bench-serve
 
 build:
 	go build ./...
@@ -11,6 +12,16 @@ test:
 
 check:
 	./scripts/check.sh
+
+# Run the project's static-analysis suite (see cmd/flowlint and DESIGN.md
+# "Static analysis & invariants"). Exit status 1 means findings.
+lint:
+	go run ./cmd/flowlint ./...
+
+# 10-second fuzz pass over the text parsers (cell specs, .fdb records).
+fuzz-short:
+	go test ./internal/core -run '^$$' -fuzz FuzzParseCellSpec -fuzztime 10s
+	go test ./internal/pathdb -run '^$$' -fuzz FuzzRead -fuzztime 10s
 
 # Regenerate the serving latency microbenchmark in results/.
 bench-serve:

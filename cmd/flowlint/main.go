@@ -1,0 +1,94 @@
+// Command flowlint is the project's static-analysis multichecker: five
+// analyzers that machine-check the contracts the flowcube codebase relies
+// on but the compiler cannot see — cube immutability after build
+// (immutcube), byte-deterministic encodings (mapdet), serving-layer lock
+// discipline (locksafe), epsilon-safe float comparisons (floatcmp), and
+// surfaced errors on persistence paths (errpath).
+//
+// Usage:
+//
+//	flowlint [-only name,name] [package pattern ...]
+//
+// Patterns are directory patterns relative to the working directory
+// (./..., ./internal/core, ./cmd/...); the default is ./... over the
+// enclosing module. The exit status is 1 when any finding is reported,
+// 2 on usage or load errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"flowcube/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("flowlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: flowlint [-only name,name] [package pattern ...]\n\nAnalyzers:\n")
+		for _, a := range lint.All() {
+			fmt.Fprintf(stderr, "  %-10s %s\n", a.Name, a.Doc)
+		}
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Fprintf(stdout, "%-10s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers := lint.All()
+	if *only != "" {
+		byName := make(map[string]*lint.Analyzer)
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*only, ",") {
+			a := byName[strings.TrimSpace(name)]
+			if a == nil {
+				fmt.Fprintf(stderr, "flowlint: unknown analyzer %q\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(patterns)
+	if err != nil {
+		fmt.Fprintf(stderr, "flowlint: %v\n", err)
+		return 2
+	}
+	if len(pkgs) == 0 {
+		// A typo'd pattern must not read as "no findings" in CI.
+		fmt.Fprintf(stderr, "flowlint: no Go packages match %s\n", strings.Join(patterns, " "))
+		return 2
+	}
+	findings := lint.Run(pkgs, analyzers)
+	for _, f := range findings {
+		fmt.Fprintln(stdout, f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "flowlint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		return 1
+	}
+	return 0
+}

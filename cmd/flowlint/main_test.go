@@ -1,0 +1,73 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"flowcube/internal/lint"
+)
+
+func TestListAnalyzers(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run(-list) = %d, stderr: %s", code, stderr.String())
+	}
+	for _, a := range lint.All() {
+		if !strings.Contains(stdout.String(), a.Name) {
+			t.Errorf("-list output missing analyzer %s:\n%s", a.Name, stdout.String())
+		}
+	}
+}
+
+func TestUnknownAnalyzer(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-only", "nope"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("run(-only nope) = %d, want 2", code)
+	}
+}
+
+// TestFindingsExitCode points the checker at a seeded-bad testdata package
+// and expects exit status 1 with findings on stdout.
+func TestFindingsExitCode(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := run([]string{"-only", "errpath", "../../internal/lint/testdata/src/errpath"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("run over seeded-bad package = %d, want 1\nstdout: %s\nstderr: %s",
+			code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "[errpath]") {
+		t.Errorf("findings missing [errpath] tag:\n%s", stdout.String())
+	}
+}
+
+// TestRepoIsClean runs the full analyzer suite over the whole module, so
+// `go test ./...` enforces flowlint cleanliness alongside `make lint`.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module type-check is slow")
+	}
+	root, _, err := lint.ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(root); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := os.Chdir(cwd); err != nil {
+			t.Error(err)
+		}
+	}()
+	pkgs, err := lint.Load([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range lint.Run(pkgs, lint.All()) {
+		t.Errorf("%s", f)
+	}
+}

@@ -65,7 +65,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	ds, err := datagen.Read(f)
-	f.Close()
+	_ = f.Close() // read-only; any close error is irrelevant next to Read's
 	if err != nil {
 		return err
 	}
@@ -78,7 +78,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return err
 		}
 		cube, err = core.Load(cf)
-		cf.Close()
+		_ = cf.Close() // read-only; any close error is irrelevant next to Load's
 		if err != nil {
 			return err
 		}
@@ -103,7 +103,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return err
 		}
 		if err := cube.Save(cf); err != nil {
-			cf.Close()
+			_ = cf.Close() // the Save error is the one worth reporting
 			return err
 		}
 		if err := cf.Close(); err != nil {

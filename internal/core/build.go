@@ -251,8 +251,10 @@ func (c *Cube) populate(db *pathdb.DB) {
 		cb     *Cuboid
 		levels ItemLevel
 	}
+	// Sorted cuboid/cell order keeps the job list — and therefore worker
+	// scheduling and any profile of it — identical across runs.
 	var targets []target
-	for _, cb := range c.Cuboids {
+	for _, cb := range c.sortedCuboids() {
 		if len(cb.Cells) > 0 {
 			targets = append(targets, target{cb: cb, levels: cb.Spec.Item})
 		}
@@ -281,7 +283,7 @@ func (c *Cube) populate(db *pathdb.DB) {
 	var jobs []job
 	for _, t := range targets {
 		pl := c.Symbols.PathLevels()[t.cb.Spec.PathLevel]
-		for _, cell := range t.cb.Cells {
+		for _, cell := range t.cb.SortedCells() {
 			jobs = append(jobs, job{cell: cell, pl: pl})
 		}
 	}
@@ -336,13 +338,16 @@ func (c *Cube) mineExceptions(db *pathdb.DB, conds cellConds) {
 		cell  *Cell
 		conds [][]flowgraph.StagePin
 	}
+	// Sorted order for the same reason as populate: a deterministic job
+	// list, so runs are comparable.
 	var jobs []job
-	for specKey, cb := range c.Cuboids {
-		for key, cell := range cb.Cells {
+	for _, cb := range c.sortedCuboids() {
+		specKey := cb.Spec.Key()
+		for _, cell := range cb.SortedCells() {
 			if cell.Graph == nil {
 				continue
 			}
-			jobs = append(jobs, job{cell: cell, conds: conds[specKey][key]})
+			jobs = append(jobs, job{cell: cell, conds: conds[specKey][cellKey(cell.Values)]})
 		}
 	}
 	c.forEach(len(jobs), func(i int) {

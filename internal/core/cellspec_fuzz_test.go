@@ -1,0 +1,88 @@
+package core_test
+
+import (
+	"testing"
+
+	"flowcube/internal/core"
+	"flowcube/internal/hierarchy"
+	"flowcube/internal/pathdb"
+)
+
+func fuzzSchema(t testing.TB) *pathdb.Schema {
+	t.Helper()
+	loc := hierarchy.New("location")
+	loc.MustAddPath("wa", "seattle")
+	product := hierarchy.New("product")
+	product.MustAddPath("clothing", "shoes", "sandals")
+	product.MustAddPath("clothing", "outerwear", "parka")
+	brand := hierarchy.New("brand")
+	brand.MustAddPath("nike")
+	brand.MustAddPath("adidas")
+	schema, err := pathdb.NewSchema(loc, product, brand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return schema
+}
+
+// FuzzParseCellSpec throws arbitrary strings at the cell-spec parser. The
+// parser fronts both CLI flags and HTTP query parameters, so it must reject
+// garbage with an error — never panic or index out of range — and any spec
+// it does accept must round-trip through FormatCell back to the same
+// item level and values.
+func FuzzParseCellSpec(f *testing.F) {
+	schema := fuzzSchema(f)
+	for _, seed := range []string{
+		"",
+		"*",
+		"product=shoes",
+		"product=shoes,brand=*",
+		"product=sandals,brand=nike",
+		"brand=adidas,product=*",
+		"product==shoes",
+		"product=shoes,,brand=nike",
+		"unknown=shoes",
+		"product=unknownconcept",
+		"product",
+		"=,=,=",
+		"product=shoes,product=clothing",
+		" product = shoes ",
+		"product=shoes,brand=nike,extra=x",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		il, values, err := core.ParseCellSpec(schema, spec)
+		if err != nil {
+			return // rejected without panicking: fine
+		}
+		if len(il) != len(schema.Dims) || len(values) != len(schema.Dims) {
+			t.Fatalf("ParseCellSpec(%q) arity: il=%d values=%d, want %d", spec, len(il), len(values), len(schema.Dims))
+		}
+		for d, v := range values {
+			if il[d] == 0 {
+				if v != hierarchy.Root {
+					t.Fatalf("ParseCellSpec(%q): aggregated dim %d has concrete value %d", spec, d, v)
+				}
+				continue
+			}
+			if schema.Dims[d].Level(v) != il[d] {
+				t.Fatalf("ParseCellSpec(%q): dim %d value %d at level %d, item level says %d",
+					spec, d, v, schema.Dims[d].Level(v), il[d])
+			}
+		}
+		// Round trip: the canonical rendering must parse back to the same
+		// cell.
+		canonical := core.FormatCell(schema, values)
+		il2, values2, err := core.ParseCellSpec(schema, canonical)
+		if err != nil {
+			t.Fatalf("FormatCell(%q) = %q does not re-parse: %v", spec, canonical, err)
+		}
+		for d := range values {
+			if values2[d] != values[d] || il2[d] != il[d] {
+				t.Fatalf("round trip %q -> %q changed dim %d: value %d->%d level %d->%d",
+					spec, canonical, d, values[d], values2[d], il[d], il2[d])
+			}
+		}
+	})
+}

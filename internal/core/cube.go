@@ -200,6 +200,24 @@ func (cb *Cuboid) SortedCells() []*Cell {
 	return out
 }
 
+// sortedCuboids returns the materialized cuboids in ascending key order.
+// Every path that serializes, validates, or reports on the whole cube walks
+// this slice rather than the Cuboids map: map iteration order is randomized
+// per run, so ranging the map directly would make snapshots, first-violation
+// errors, and summaries differ between two otherwise identical processes.
+func (c *Cube) sortedCuboids() []*Cuboid {
+	keys := make([]string, 0, len(c.Cuboids))
+	for k := range c.Cuboids {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*Cuboid, len(keys))
+	for i, k := range keys {
+		out[i] = c.Cuboids[k]
+	}
+	return out
+}
+
 // NumCells reports the total number of materialized cells across cuboids.
 func (c *Cube) NumCells() int {
 	n := 0

@@ -19,12 +19,16 @@ import (
 // and every flowgraph passes its own validation. It returns the first
 // violation.
 func (c *Cube) Validate() error {
-	for key, cb := range c.Cuboids {
+	// Walk cuboids and cells in sorted order so the *first* violation
+	// reported is the same on every run — a nondeterministic error message
+	// makes failures impossible to diff across reruns.
+	for _, cb := range c.sortedCuboids() {
+		key := cb.Spec.Key()
 		if len(cb.Spec.Item) != len(c.Schema.Dims) {
 			return fmt.Errorf("core: cuboid %s item level arity %d != %d dims",
 				key, len(cb.Spec.Item), len(c.Schema.Dims))
 		}
-		for _, cell := range cb.Cells {
+		for _, cell := range cb.SortedCells() {
 			if cell.Count < c.minCount {
 				return fmt.Errorf("core: cuboid %s holds cell %v below the iceberg threshold (%d < %d)",
 					key, cell.Values, cell.Count, c.minCount)
@@ -78,13 +82,7 @@ func (r RankedException) Severity() float64 {
 // k <= 0 returns all.
 func (c *Cube) TopExceptions(k int) []RankedException {
 	var out []RankedException
-	keys := make([]string, 0, len(c.Cuboids))
-	for key := range c.Cuboids {
-		keys = append(keys, key)
-	}
-	sort.Strings(keys)
-	for _, key := range keys {
-		cb := c.Cuboids[key]
+	for _, cb := range c.sortedCuboids() {
 		for _, cell := range cb.SortedCells() {
 			if cell.Graph == nil {
 				continue
@@ -99,8 +97,15 @@ func (c *Cube) TopExceptions(k int) []RankedException {
 		}
 	}
 	sort.SliceStable(out, func(i, j int) bool {
-		if out[i].Severity() != out[j].Severity() {
-			return out[i].Severity() > out[j].Severity()
+		// Compared two-sided so no float equality test is needed: severities
+		// that differ only in rounding residue fall through to the support
+		// tiebreak instead of being ordered by noise.
+		si, sj := out[i].Severity(), out[j].Severity()
+		if si > sj {
+			return true
+		}
+		if sj > si {
+			return false
 		}
 		return out[i].Support > out[j].Support
 	})

@@ -263,7 +263,9 @@ func (c *Cube) Save(w io.Writer) error {
 		}
 		dto.PathLevels = append(dto.PathLevels, pld)
 	}
-	for _, cb := range c.Cuboids {
+	// Cuboids (and, via SortedCells, their cells) are encoded in sorted key
+	// order so two saves of the same cube are byte-identical.
+	for _, cb := range c.sortedCuboids() {
 		cbd := cuboidDTO{ItemLevel: cb.Spec.Item, PathLevel: cb.Spec.PathLevel}
 		for _, cell := range cb.SortedCells() {
 			cd := cellDTO{

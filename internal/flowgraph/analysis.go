@@ -51,8 +51,14 @@ func (g *Graph) TopPaths(k int) []PathSummary {
 	}
 	walk(g.root, 1, nil, nil, 0)
 	sort.Slice(out, func(i, j int) bool {
-		if out[i].Prob != out[j].Prob {
-			return out[i].Prob > out[j].Prob
+		// Two-sided comparison avoids float equality: probabilities that
+		// differ only in rounding residue fall through to the location
+		// tiebreak rather than being ordered by noise.
+		if out[i].Prob > out[j].Prob {
+			return true
+		}
+		if out[j].Prob > out[i].Prob {
+			return false
 		}
 		return lessLocs(out[i].Locations, out[j].Locations)
 	})

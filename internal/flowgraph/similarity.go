@@ -18,7 +18,10 @@ func Divergence(a, b *Graph) float64 {
 }
 
 func divergeNode(a *Graph, na, nb *Node, weight float64) float64 {
-	if weight == 0 {
+	// weight is a product of reach probabilities; down a deep unlikely
+	// branch it decays through denormals instead of hitting exact zero, so
+	// prune with the shared epsilon comparison rather than ==.
+	if stats.AlmostEqual(weight, 0) {
 		return 0
 	}
 	var d float64

@@ -1,0 +1,129 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// immutcube enforces the immutable-after-build contract documented on
+// core.Cube: once Build (or Load) returns, the cube is shared by concurrent
+// readers — internal/server hands the same *core.Cube to every in-flight
+// request — so field writes to Cube, Cuboid, or Cell values are only legal
+// inside package core's designated mutation files. Everywhere else (the
+// serving layer, CLI tools, examples, sibling internal packages) the cube
+// must be treated as deeply read-only; a server that wants new data swaps a
+// whole snapshot instead of editing the live one.
+//
+// The designated files are the build phase and the documented mutating
+// operations: build.go (Build, populate, exception mining), append.go
+// (incremental Append), persist.go (Load reconstructs a cube), and query.go
+// (MarkRedundancy, Compress — documented as must-not-run-concurrently).
+//
+// Detected write forms: field assignment (cell.Count = n, cell.Count++),
+// writes through field-held maps and slices (cb.Cells[k] = v,
+// cell.Values[i] = v), and delete(cb.Cells, k). Mutation through an
+// aliased map or a method call is out of static reach and stays on the
+// prose contract.
+
+var immutAllowedFiles = map[string]bool{
+	"build.go":   true,
+	"append.go":  true,
+	"persist.go": true,
+	"query.go":   true,
+}
+
+var immutTypes = map[string]bool{
+	"Cube":   true,
+	"Cuboid": true,
+	"Cell":   true,
+}
+
+// ImmutCube flags writes to core.Cube/Cuboid/Cell state outside the build
+// phase.
+var ImmutCube = &Analyzer{
+	Name: "immutcube",
+	Doc:  "flags writes to core.Cube/Cuboid/Cell fields outside the cube build phase",
+	Run:  runImmutCube,
+}
+
+func runImmutCube(pass *Pass) []Diagnostic {
+	var diags []Diagnostic
+	for _, file := range pass.Files {
+		// The defining package's designated mutation files may write.
+		if pass.Pkg.Name() == "core" && immutAllowedFiles[pass.Filename(file.Pos())] {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range stmt.Lhs {
+					if field, owner, ok := immutWriteTarget(pass.Info, lhs); ok {
+						diags = append(diags, Diagnostic{
+							Pos: lhs.Pos(),
+							Message: fmt.Sprintf(
+								"write to core.%s field %s outside the build phase (cube is immutable once served; see the concurrency contract on core.Cube)",
+								owner, field),
+						})
+					}
+				}
+			case *ast.IncDecStmt:
+				if field, owner, ok := immutWriteTarget(pass.Info, stmt.X); ok {
+					diags = append(diags, Diagnostic{
+						Pos: stmt.Pos(),
+						Message: fmt.Sprintf(
+							"write to core.%s field %s outside the build phase (cube is immutable once served; see the concurrency contract on core.Cube)",
+							owner, field),
+					})
+				}
+			case *ast.CallExpr:
+				if id, ok := ast.Unparen(stmt.Fun).(*ast.Ident); ok && id.Name == "delete" && len(stmt.Args) == 2 {
+					if obj, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin && obj.Name() == "delete" {
+						if field, owner, ok := immutWriteTarget(pass.Info, stmt.Args[0]); ok {
+							diags = append(diags, Diagnostic{
+								Pos: stmt.Pos(),
+								Message: fmt.Sprintf(
+									"delete from core.%s field %s outside the build phase (cube is immutable once served)",
+									owner, field),
+							})
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// immutWriteTarget reports whether the write target expression resolves (up
+// through index and dereference operations) to a field of core.Cube,
+// core.Cuboid, or core.Cell, returning the field and owning type names.
+func immutWriteTarget(info *types.Info, e ast.Expr) (field, owner string, ok bool) {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			sel := info.Selections[x]
+			if sel == nil || sel.Kind() != types.FieldVal {
+				return "", "", false
+			}
+			named := namedOf(sel.Recv())
+			if named == nil {
+				return "", "", false
+			}
+			obj := named.Obj()
+			if obj.Pkg() == nil || obj.Pkg().Name() != "core" || !immutTypes[obj.Name()] {
+				return "", "", false
+			}
+			return x.Sel.Name, obj.Name(), true
+		default:
+			return "", "", false
+		}
+	}
+}

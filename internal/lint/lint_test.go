@@ -1,0 +1,34 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"flowcube/internal/lint"
+	"flowcube/internal/lint/linttest"
+)
+
+// TestAnalyzers runs every analyzer over its testdata package, checking the
+// findings against the // want annotations (and that allowed/suppressed
+// cases stay silent).
+func TestAnalyzers(t *testing.T) {
+	for _, a := range lint.All() {
+		t.Run(a.Name, func(t *testing.T) {
+			linttest.Run(t, filepath.Join("testdata", "src", a.Name), a)
+		})
+	}
+}
+
+// TestModuleRoot sanity-checks module discovery from a nested directory.
+func TestModuleRoot(t *testing.T) {
+	root, mod, err := lint.ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mod != "flowcube" {
+		t.Errorf("module path = %q, want flowcube", mod)
+	}
+	if filepath.Base(root) == "lint" {
+		t.Errorf("module root %q should be above internal/lint", root)
+	}
+}

@@ -1,0 +1,113 @@
+// Package linttest is flowlint's analogue of
+// golang.org/x/tools/go/analysis/analysistest: it loads a testdata package,
+// applies one analyzer through the full lint.Run pipeline (so ignore
+// directives are honored exactly as in production), and compares the
+// findings against // want annotations in the source.
+//
+// An expectation is a comment of the form
+//
+//	cell.Count = 7 // want `write to core\.Cell field Count`
+//
+// on the line the diagnostic is reported at. The backquoted (or quoted)
+// strings are regular expressions matched against the finding message;
+// several may appear on one line. Every finding must match an expectation
+// and every expectation must be matched, or the test fails.
+package linttest
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"flowcube/internal/lint"
+)
+
+// wantArgRE extracts the backquoted or double-quoted expectation patterns
+// from the tail of a want comment.
+var wantArgRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+type expectation struct {
+	re      *regexp.Regexp
+	line    int
+	matched bool
+}
+
+// Run loads the single package under dir and applies the analyzer,
+// comparing its findings to the // want annotations.
+func Run(t *testing.T, dir string, a *lint.Analyzer) {
+	t.Helper()
+	pkg, err := lint.LoadDir(dir, "flowcube/internal/lint/testdata/"+a.Name)
+	if err != nil {
+		t.Fatalf("load %s: %v", dir, err)
+	}
+	wants := collectWants(t, pkg)
+	findings := lint.Run([]*lint.Package{pkg}, []*lint.Analyzer{a})
+
+	for _, f := range findings {
+		key := posKey(f.Position.Filename, f.Position.Line)
+		matched := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(f.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: expected finding matching %q, got none", key, w.re)
+			}
+		}
+	}
+}
+
+func posKey(filename string, line int) string {
+	return fmt.Sprintf("%s:%d", filename, line)
+}
+
+// collectWants scans the package's comments for want annotations.
+func collectWants(t *testing.T, pkg *lint.Package) map[string][]*expectation {
+	t.Helper()
+	wants := make(map[string][]*expectation)
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				rest, ok := strings.CutPrefix(text, "want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				args := wantArgRE.FindAllString(rest, -1)
+				if len(args) == 0 {
+					t.Fatalf("%s: malformed want comment %q", pos, c.Text)
+				}
+				for _, arg := range args {
+					var pat string
+					if strings.HasPrefix(arg, "`") {
+						pat = strings.Trim(arg, "`")
+					} else {
+						var err error
+						if pat, err = strconv.Unquote(arg); err != nil {
+							t.Fatalf("%s: bad want pattern %s: %v", pos, arg, err)
+						}
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+					}
+					key := posKey(pos.Filename, pos.Line)
+					wants[key] = append(wants[key], &expectation{re: re, line: pos.Line})
+				}
+			}
+		}
+	}
+	return wants
+}

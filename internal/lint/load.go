@@ -1,0 +1,212 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package loading for flowlint. Packages are discovered by walking the
+// module tree (no go/packages available in this environment), parsed with
+// go/parser, and type-checked with go/types. Imports — both stdlib and
+// intra-module — resolve through the stdlib source importer, which handles
+// module paths by consulting the go command; that requires the process
+// working directory to be inside the module, which ModuleRoot guarantees
+// for callers that chdir to it.
+//
+// Test files (_test.go) are not loaded: the analyzers enforce production
+// contracts, and tests legitimately construct and mutate cubes.
+
+// Package is one parsed and type-checked package.
+type Package struct {
+	PkgPath string
+	Dir     string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Pkg     *types.Package
+	Info    *types.Info
+}
+
+// ModuleRoot walks up from dir to the enclosing go.mod and returns its
+// directory and module path.
+func ModuleRoot(dir string) (root, modPath string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: %s/go.mod has no module directive", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("lint: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// Load expands the package patterns (./dir, ./dir/..., ./...) relative to
+// the module root enclosing the working directory and returns the parsed,
+// type-checked packages in deterministic (import path) order.
+func Load(patterns []string) ([]*Package, error) {
+	cwd, err := os.Getwd()
+	if err != nil {
+		return nil, err
+	}
+	root, modPath, err := ModuleRoot(cwd)
+	if err != nil {
+		return nil, err
+	}
+	dirSet := make(map[string]bool)
+	for _, pat := range patterns {
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive = true
+			pat = rest
+			if pat == "." || pat == "" {
+				pat = "."
+			}
+		}
+		base := filepath.Join(cwd, pat)
+		if !recursive {
+			if hasGoFiles(base) {
+				dirSet[base] = true
+			}
+			continue
+		}
+		err := filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != base && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(path) {
+				dirSet[path] = true
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	dirs := make([]string, 0, len(dirSet))
+	for d := range dirSet {
+		dirs = append(dirs, d)
+	}
+	sort.Strings(dirs)
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+	var pkgs []*Package
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		pkgPath := modPath
+		if rel != "." {
+			pkgPath = modPath + "/" + filepath.ToSlash(rel)
+		}
+		pkg, err := checkDir(fset, imp, dir, pkgPath)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	return pkgs, nil
+}
+
+// LoadDir parses and type-checks the single package in dir under the given
+// import path, with imports resolved by the stdlib source importer. It is
+// the entry point the analyzer tests use on testdata packages.
+func LoadDir(dir, pkgPath string) (*Package, error) {
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+	pkg, err := checkDir(fset, imp, dir, pkgPath)
+	if err != nil {
+		return nil, err
+	}
+	if pkg == nil {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	return pkg, nil
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if isSourceFile(e) {
+			return true
+		}
+	}
+	return false
+}
+
+func isSourceFile(e os.DirEntry) bool {
+	name := e.Name()
+	return !e.IsDir() && strings.HasSuffix(name, ".go") &&
+		!strings.HasSuffix(name, "_test.go") && !strings.HasPrefix(name, ".")
+}
+
+func checkDir(fset *token.FileSet, imp types.Importer, dir, pkgPath string) (*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		if isSourceFile(e) {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) == 0 {
+		return nil, nil
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-check %s: %w", pkgPath, err)
+	}
+	return &Package{PkgPath: pkgPath, Dir: dir, Fset: fset, Files: files, Pkg: pkg, Info: info}, nil
+}

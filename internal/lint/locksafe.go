@@ -1,0 +1,324 @@
+package lint
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+)
+
+// locksafe machine-checks the serving layer's lock discipline. The snapshot
+// holder and response cache in internal/server guard hot-path state with
+// sync.Mutex/RWMutex; two mistakes there are both easy to make and
+// catastrophic under load:
+//
+//  1. copying a lock-bearing struct by value — a value receiver, value
+//     parameter, or plain assignment silently duplicates the mutex, so the
+//     "copy" and the original no longer exclude each other;
+//  2. holding a mutex across blocking I/O — a lock held while calling into
+//     net, net/http, os, os/exec, or time.Sleep turns one slow client into
+//     a server-wide stall (every reader of the snapshot holder queues
+//     behind the writer). The cache's single-flight path deliberately drops
+//     the lock before computing; this analyzer keeps it that way.
+//
+// The held-region analysis is a linear scan per function: X.Lock()/RLock()
+// opens a region, X.Unlock()/RUnlock() closes it, defer X.Unlock() keeps it
+// open to the end of the function. Branch bodies are scanned with a copy of
+// the held set, so a lock taken inside an if-arm does not poison the code
+// after it.
+
+// LockSafe flags lock-bearing structs copied by value and mutexes held
+// across blocking I/O.
+var LockSafe = &Analyzer{
+	Name: "locksafe",
+	Doc:  "flags by-value copies of lock-bearing structs and sync.Mutex/RWMutex held across blocking I/O",
+	Run:  runLockSafe,
+}
+
+// blockingPkgs are packages whose calls are treated as blocking I/O.
+var blockingPkgs = map[string]bool{
+	"net":      true,
+	"net/http": true,
+	"os":       true,
+	"os/exec":  true,
+}
+
+func runLockSafe(pass *Pass) []Diagnostic {
+	var diags []Diagnostic
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				diags = append(diags, lockCopyChecks(pass, fn)...)
+				if fn.Body != nil {
+					diags = append(diags, (&lockScan{pass: pass}).block(fn.Body, newHeldSet())...)
+				}
+			case *ast.FuncLit:
+				if fn.Body != nil {
+					diags = append(diags, (&lockScan{pass: pass}).block(fn.Body, newHeldSet())...)
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// --- check 1: lock-bearing structs copied by value ---
+
+func lockCopyChecks(pass *Pass, fn *ast.FuncDecl) []Diagnostic {
+	var diags []Diagnostic
+	check := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			t := pass.Info.TypeOf(f.Type)
+			if t == nil {
+				continue
+			}
+			if _, isPtr := t.(*types.Pointer); isPtr {
+				continue
+			}
+			if path := lockPath(t, nil); path != "" {
+				diags = append(diags, Diagnostic{
+					Pos: f.Pos(),
+					Message: fmt.Sprintf("%s of %s passes a lock by value (contains %s); use a pointer",
+						what, fn.Name.Name, path),
+				})
+			}
+		}
+	}
+	check(fn.Recv, "value receiver")
+	if fn.Type.Params != nil {
+		check(fn.Type.Params, "value parameter")
+	}
+	return diags
+}
+
+// lockPath reports a dotted path to an embedded sync lock inside t, or "".
+func lockPath(t types.Type, seen []*types.Named) string {
+	if named := namedOf(t); named != nil {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+			switch obj.Name() {
+			case "Mutex", "RWMutex", "WaitGroup", "Once", "Cond", "Pool", "Map":
+				return "sync." + obj.Name()
+			}
+		}
+		for _, s := range seen {
+			if s == named {
+				return ""
+			}
+		}
+		seen = append(seen, named)
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return ""
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if _, isPtr := f.Type().(*types.Pointer); isPtr {
+			continue
+		}
+		if sub := lockPath(f.Type(), seen); sub != "" {
+			return f.Name() + "." + sub
+		}
+	}
+	return ""
+}
+
+// --- check 2: mutex held across blocking I/O ---
+
+type heldSet struct {
+	exprs map[string]token.Pos // printed lock receiver → Lock() position
+}
+
+func newHeldSet() *heldSet { return &heldSet{exprs: make(map[string]token.Pos)} }
+
+func (h *heldSet) clone() *heldSet {
+	c := newHeldSet()
+	for k, v := range h.exprs {
+		c.exprs[k] = v
+	}
+	return c
+}
+
+type lockScan struct {
+	pass *Pass
+}
+
+// block scans a statement list linearly, tracking the held set, and returns
+// diagnostics for blocking calls made while any lock is held.
+func (s *lockScan) block(b *ast.BlockStmt, held *heldSet) []Diagnostic {
+	var diags []Diagnostic
+	for _, stmt := range b.List {
+		diags = append(diags, s.stmt(stmt, held)...)
+	}
+	return diags
+}
+
+func (s *lockScan) stmt(stmt ast.Stmt, held *heldSet) []Diagnostic {
+	switch st := stmt.(type) {
+	case *ast.ExprStmt:
+		if recv, op, ok := s.lockOp(st.X); ok {
+			switch op {
+			case "Lock", "RLock":
+				held.exprs[recv] = st.Pos()
+			case "Unlock", "RUnlock":
+				delete(held.exprs, recv)
+			}
+			return nil
+		}
+		return s.checkCalls(st.X, held)
+	case *ast.DeferStmt:
+		if recv, op, ok := s.lockOp(st.Call); ok && (op == "Unlock" || op == "RUnlock") {
+			// Deferred release: the lock stays held for the rest of the
+			// function, which is fine as long as nothing below blocks. Keep
+			// the receiver in the held set.
+			_ = recv
+			return nil
+		}
+		return s.checkCalls(st.Call, held)
+	case *ast.AssignStmt:
+		var diags []Diagnostic
+		for _, e := range st.Rhs {
+			diags = append(diags, s.checkCalls(e, held)...)
+		}
+		return diags
+	case *ast.ReturnStmt:
+		var diags []Diagnostic
+		for _, e := range st.Results {
+			diags = append(diags, s.checkCalls(e, held)...)
+		}
+		return diags
+	case *ast.IfStmt:
+		var diags []Diagnostic
+		if st.Init != nil {
+			diags = append(diags, s.stmt(st.Init, held)...)
+		}
+		diags = append(diags, s.checkCalls(st.Cond, held)...)
+		diags = append(diags, s.block(st.Body, held.clone())...)
+		if st.Else != nil {
+			diags = append(diags, s.stmt(st.Else, held.clone())...)
+		}
+		return diags
+	case *ast.BlockStmt:
+		return s.block(st, held)
+	case *ast.ForStmt:
+		var diags []Diagnostic
+		if st.Init != nil {
+			diags = append(diags, s.stmt(st.Init, held)...)
+		}
+		diags = append(diags, s.block(st.Body, held.clone())...)
+		return diags
+	case *ast.RangeStmt:
+		return s.block(st.Body, held.clone())
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		var diags []Diagnostic
+		ast.Inspect(st, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			if call, ok := n.(*ast.CallExpr); ok {
+				diags = append(diags, s.checkCall(call, held)...)
+			}
+			return true
+		})
+		return diags
+	case *ast.GoStmt:
+		return nil // the goroutine does not run under this frame's locks
+	default:
+		return nil
+	}
+}
+
+// checkCalls inspects an expression tree for blocking calls, skipping
+// nested function literals (they execute later, not under this lock).
+func (s *lockScan) checkCalls(e ast.Expr, held *heldSet) []Diagnostic {
+	if e == nil || len(held.exprs) == 0 {
+		return nil
+	}
+	var diags []Diagnostic
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			diags = append(diags, s.checkCall(call, held)...)
+		}
+		return true
+	})
+	return diags
+}
+
+func (s *lockScan) checkCall(call *ast.CallExpr, held *heldSet) []Diagnostic {
+	if len(held.exprs) == 0 {
+		return nil
+	}
+	name, blocking := s.blockingCall(call)
+	if !blocking {
+		return nil
+	}
+	// One report per call, against the lexicographically first held lock so
+	// the diagnostic is deterministic.
+	first := ""
+	for recv := range held.exprs {
+		if first == "" || recv < first {
+			first = recv
+		}
+	}
+	return []Diagnostic{{
+		Pos: call.Pos(),
+		Message: fmt.Sprintf("blocking call %s while holding %s; release the lock before I/O (one slow peer stalls every lock waiter)",
+			name, first),
+	}}
+}
+
+// blockingCall classifies calls into blocking I/O: package functions and
+// methods from net, net/http, os, os/exec, plus time.Sleep.
+func (s *lockScan) blockingCall(call *ast.CallExpr) (string, bool) {
+	obj := calleeObj(s.pass.Info, call)
+	if obj == nil || obj.Pkg() == nil {
+		return "", false
+	}
+	pkg := obj.Pkg().Path()
+	if pkg == "time" && obj.Name() == "Sleep" {
+		return "time.Sleep", true
+	}
+	if !blockingPkgs[pkg] {
+		return "", false
+	}
+	return pkg + "." + obj.Name(), true
+}
+
+// lockOp matches <expr>.Lock / RLock / Unlock / RUnlock calls on
+// sync.Mutex/RWMutex (directly or promoted through embedding) and returns
+// the printed receiver expression and the operation name.
+func (s *lockScan) lockOp(e ast.Expr) (recv, op string, ok bool) {
+	call, isCall := ast.Unparen(e).(*ast.CallExpr)
+	if !isCall {
+		return "", "", false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	obj := s.pass.Info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, s.pass.Fset, sel.X); err != nil {
+		return "", "", false
+	}
+	return buf.String(), sel.Sel.Name, true
+}

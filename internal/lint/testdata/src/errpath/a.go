@@ -1,0 +1,38 @@
+package errpath
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+func bad(path string) {
+	f, _ := os.Create(path)
+	f.Close()           // want `error result of File\.Close is silently discarded`
+	fmt.Fprintf(f, "x") // want `error result of fmt\.Fprintf is silently discarded`
+}
+
+func deferred(f *os.File) {
+	defer f.Close() // want `error result of File\.Close is silently discarded`
+}
+
+func explicit(f *os.File) {
+	_ = f.Close() // explicit discard is visible and legal
+}
+
+func benign() {
+	var b strings.Builder
+	b.WriteString("x")          // strings.Builder never fails
+	fmt.Fprintf(&b, "x")        // in-memory sink
+	fmt.Fprintln(os.Stderr, "") // standard stream
+	fmt.Println("x")            // terminal chatter
+}
+
+func report(w io.Writer) {
+	fmt.Fprintln(w, "ok") // interface destination: report-rendering convention
+}
+
+func suppressed(f *os.File) {
+	f.Close() //nolint:errcheck
+}

@@ -1,0 +1,25 @@
+package floatcmp
+
+// Unknown mimics core.SimilarityUnknown: an assigned-never-computed
+// sentinel, compared exactly by contract.
+const Unknown = -1.0
+
+func bad(a, b float64) bool {
+	return a == b // want `floating-point == comparison`
+}
+
+func badNeq(a float64) bool {
+	return a != 0.5 // want `floating-point != comparison`
+}
+
+func sentinel(a float64) bool {
+	return a == Unknown // named constant: exact equality is its contract
+}
+
+func zeroGuard(a float64) bool {
+	return a == 0 // literal zero: "never touched" test, well-defined
+}
+
+func ints(a, b int) bool {
+	return a == b // not a float
+}

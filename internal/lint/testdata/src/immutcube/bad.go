@@ -1,0 +1,38 @@
+// Test fixture: the package is named core and declares Cube/Cuboid/Cell so
+// the analyzer's type matching engages without importing the real module.
+package core
+
+type Cell struct {
+	Count  int64
+	Values []int32
+}
+
+type Cuboid struct {
+	Cells map[string]*Cell
+}
+
+type Cube struct {
+	Cuboids map[string]*Cuboid
+}
+
+func mutate(c *Cube, cb *Cuboid, cell *Cell) {
+	cell.Count = 7         // want `write to core\.Cell field Count`
+	cell.Count++           // want `write to core\.Cell field Count`
+	cb.Cells["k"] = cell   // want `write to core\.Cuboid field Cells`
+	cell.Values[0] = 3     // want `write to core\.Cell field Values`
+	delete(c.Cuboids, "k") // want `delete from core\.Cube field Cuboids`
+}
+
+func read(c *Cube) int64 {
+	var n int64
+	for _, cb := range c.Cuboids {
+		for _, cell := range cb.Cells {
+			n += cell.Count
+		}
+	}
+	return n
+}
+
+func suppressed(cell *Cell) {
+	cell.Count = 0 //flowlint:ignore immutcube fixture exercising suppression
+}

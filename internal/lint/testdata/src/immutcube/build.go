@@ -1,0 +1,9 @@
+package core
+
+// build.go is on the analyzer's allowlist: the build phase may mutate.
+
+func populate(c *Cube, cell *Cell) {
+	c.Cuboids = map[string]*Cuboid{}
+	cell.Count = 42
+	delete(c.Cuboids, "k")
+}

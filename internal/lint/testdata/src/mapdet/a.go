@@ -1,0 +1,62 @@
+package mapdet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+func encodeLoop(m map[string]int, b *strings.Builder) {
+	for k, v := range m {
+		fmt.Fprintf(b, "%s=%d;", k, v) // want `call to fmt\.Fprintf inside range over map`
+	}
+}
+
+func writeLoop(m map[string]int, b *strings.Builder) {
+	for k := range m {
+		b.WriteString(k) // want `call to WriteString inside range over map`
+	}
+}
+
+func keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `slice out is built in map iteration order and later returned`
+	}
+	return out
+}
+
+func sortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sum(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v // want `floating-point accumulation over map iteration`
+	}
+	return total
+}
+
+// count folds an order-independent integer and must not be flagged.
+func count(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// localOnly builds a slice that never escapes; order cannot be observed.
+func localOnly(m map[string]int) int {
+	var tmp []string
+	for k := range m {
+		tmp = append(tmp, k)
+	}
+	return len(tmp)
+}

@@ -43,8 +43,8 @@ type CellRefJSON struct {
 
 // CellResponse is the GET /v1/cell JSON body.
 type CellResponse struct {
-	Cell      string      `json:"cell"`
-	PathLevel int         `json:"path_level"`
+	Cell      string `json:"cell"`
+	PathLevel int    `json:"path_level"`
 	// Exact reports whether the requested cell itself answered; false means
 	// the graph was inferred from the nearest materialized ancestor
 	// (roll-up inference over the non-redundant cube).
@@ -55,14 +55,14 @@ type CellResponse struct {
 
 // ExceptionJSON is one ranked exception.
 type ExceptionJSON struct {
-	Cuboid              string      `json:"cuboid"`
-	Cell                []string    `json:"cell"`
-	Node                []string    `json:"node"`
+	Cuboid              string         `json:"cuboid"`
+	Cell                []string       `json:"cell"`
+	Node                []string       `json:"node"`
 	Condition           []StagePinJSON `json:"condition"`
-	Support             int64       `json:"support"`
-	DurationDeviation   float64     `json:"duration_deviation"`
-	TransitionDeviation float64     `json:"transition_deviation"`
-	Severity            float64     `json:"severity"`
+	Support             int64          `json:"support"`
+	DurationDeviation   float64        `json:"duration_deviation"`
+	TransitionDeviation float64        `json:"transition_deviation"`
+	Severity            float64        `json:"severity"`
 }
 
 // StagePinJSON is one conditioning constraint of an exception.

@@ -86,7 +86,7 @@ func FileLoader(path string, opts BuildOptions) Loader {
 		if err != nil {
 			return nil, err
 		}
-		defer f.Close()
+		defer func() { _ = f.Close() }() // read-only; close errors carry no information
 		cube, cubeErr := core.Load(f)
 		if cubeErr == nil {
 			return cube, nil

@@ -25,6 +25,7 @@ package starcube
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"flowcube/internal/hierarchy"
@@ -58,13 +59,13 @@ func Key(values []hierarchy.NodeID) string {
 	return strings.Join(parts, ",")
 }
 
-// FromKey decodes a Key back into values.
+// FromKey decodes a Key back into values. Malformed components decode to
+// the root/star value 0, matching what Key can actually produce.
 func FromKey(key string) []hierarchy.NodeID {
 	parts := strings.Split(key, ",")
 	out := make([]hierarchy.NodeID, len(parts))
 	for i, p := range parts {
-		var v int
-		fmt.Sscanf(p, "%d", &v)
+		v, _ := strconv.Atoi(p)
 		out[i] = hierarchy.NodeID(v)
 	}
 	return out

@@ -1,0 +1,26 @@
+package stats
+
+import "math"
+
+// Epsilon-aware float comparison shared by every layer that handles the
+// cube's computed measures (similarity ϕ, KL divergence, deviations, mean
+// durations). Raw == / != on computed floats depends on rounding; flowlint's
+// floatcmp analyzer flags it and points here.
+
+// almostEqualEps is the default tolerance: generous enough to absorb
+// accumulated rounding across a flowgraph walk, far below any ε or τ a
+// caller would configure.
+const almostEqualEps = 1e-9
+
+// AlmostEqual reports whether a and b are equal within a mixed
+// absolute/relative tolerance: |a-b| <= eps * max(1, |a|, |b|). Exact
+// sentinel checks (core.SimilarityUnknown) should keep using ==, which is
+// well-defined for assigned-never-computed values.
+func AlmostEqual(a, b float64) bool {
+	if a == b { //flowlint:ignore floatcmp fast path; the epsilon branch below decides near-misses
+		return true
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return diff <= almostEqualEps*scale
+}

@@ -112,15 +112,36 @@ func (m *Multinomial) Mode() (int64, float64, bool) {
 
 // Mean returns the expectation of the outcome value (meaningful for
 // duration distributions). It returns 0 for an empty distribution.
+// Outcomes are summed in ascending order so the rounding — and therefore
+// every serialized mean — is identical across runs.
 func (m *Multinomial) Mean() float64 {
 	if m.total == 0 {
 		return 0
 	}
 	sum := 0.0
-	for v, n := range m.counts {
-		sum += float64(v) * float64(n)
+	for _, v := range m.Outcomes() {
+		sum += float64(v) * float64(m.counts[v])
 	}
 	return sum / float64(m.total)
+}
+
+// unionOutcomes returns the union of the two distributions' outcomes in
+// ascending order. Deviation and divergence sums iterate this slice instead
+// of a set map: floating-point addition is not associative, so summing in
+// map iteration order would give different low bits on every run — and
+// those bits end up in persisted similarities and served JSON.
+func (m *Multinomial) unionOutcomes(other *Multinomial) []int64 {
+	out := make([]int64, 0, len(m.counts)+other.Support())
+	for v := range m.counts {
+		out = append(out, v)
+	}
+	for v := range other.counts {
+		if _, dup := m.counts[v]; !dup {
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // MaxDeviation returns the L∞ distance between the probability vectors of m
@@ -129,14 +150,7 @@ func (m *Multinomial) Mean() float64 {
 // from the node's base distribution exceeds ε is an exception.
 func (m *Multinomial) MaxDeviation(other *Multinomial) float64 {
 	max := 0.0
-	seen := make(map[int64]bool, len(m.counts)+other.Support())
-	for v := range m.counts {
-		seen[v] = true
-	}
-	for v := range other.counts {
-		seen[v] = true
-	}
-	for v := range seen {
+	for _, v := range m.unionOutcomes(other) {
 		d := math.Abs(m.Prob(v) - other.Prob(v))
 		if d > max {
 			max = d
@@ -150,14 +164,7 @@ func (m *Multinomial) MaxDeviation(other *Multinomial) float64 {
 // prefer mass-weighted deviations.
 func (m *Multinomial) TotalVariation(other *Multinomial) float64 {
 	sum := 0.0
-	seen := make(map[int64]bool, len(m.counts)+other.Support())
-	for v := range m.counts {
-		seen[v] = true
-	}
-	for v := range other.counts {
-		seen[v] = true
-	}
-	for v := range seen {
+	for _, v := range m.unionOutcomes(other) {
 		sum += math.Abs(m.Prob(v) - other.Prob(v))
 	}
 	return sum / 2
@@ -167,13 +174,7 @@ func (m *Multinomial) TotalVariation(other *Multinomial) float64 {
 // the union of outcomes, so it is finite even when the supports differ.
 // Lower values mean the distributions are more alike.
 func (m *Multinomial) KLDivergence(other *Multinomial) float64 {
-	outcomes := make(map[int64]bool, len(m.counts)+other.Support())
-	for v := range m.counts {
-		outcomes[v] = true
-	}
-	for v := range other.counts {
-		outcomes[v] = true
-	}
+	outcomes := m.unionOutcomes(other)
 	k := float64(len(outcomes))
 	if k == 0 {
 		return 0
@@ -181,7 +182,7 @@ func (m *Multinomial) KLDivergence(other *Multinomial) float64 {
 	mTot := float64(m.total) + k
 	oTot := float64(other.total) + k
 	d := 0.0
-	for v := range outcomes {
+	for _, v := range outcomes {
 		p := (float64(m.counts[v]) + 1) / mTot
 		q := (float64(other.counts[v]) + 1) / oTot
 		d += p * math.Log(p/q)

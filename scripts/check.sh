@@ -3,7 +3,10 @@
 # detector. The race run is what keeps the concurrent serving layer
 # (internal/server, cmd/flowserve) honest — snapshot hot-reload, the
 # single-flight response cache and graceful shutdown are all exercised by
-# tests that hammer the server from many goroutines.
+# tests that hammer the server from many goroutines. flowlint layers the
+# project-specific contracts on top (cube immutability, byte-deterministic
+# encodings, lock discipline, epsilon float comparisons, surfaced errors),
+# and the short fuzz pass keeps the text parsers panic-free on garbage.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -13,7 +16,14 @@ go vet ./...
 echo "== go build =="
 go build ./...
 
+echo "== flowlint =="
+go run ./cmd/flowlint ./...
+
 echo "== go test -race =="
 go test -race ./...
+
+echo "== fuzz (10s per target) =="
+go test ./internal/core -run '^$' -fuzz FuzzParseCellSpec -fuzztime 10s
+go test ./internal/pathdb -run '^$' -fuzz FuzzRead -fuzztime 10s
 
 echo "ok"
