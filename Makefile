@@ -2,7 +2,7 @@
 # scripts/check.sh (vet + build + flowlint + race-detector tests + short
 # fuzz).
 
-.PHONY: build test check lint fuzz-short bench-serve
+.PHONY: build test check lint fuzz-short bench bench-serve
 
 build:
 	go build ./...
@@ -22,6 +22,12 @@ lint:
 fuzz-short:
 	go test ./internal/core -run '^$$' -fuzz FuzzParseCellSpec -fuzztime 10s
 	go test ./internal/pathdb -run '^$$' -fuzz FuzzRead -fuzztime 10s
+
+# Regenerate the canonical counting-core benchmark suite (scan-1, trie
+# counting, populate) checked in as BENCH_mining.json. Takes ~10 minutes;
+# see DESIGN.md "Counting data layout".
+bench:
+	go run ./cmd/flowbench -micro -quiet -micro-out BENCH_mining.json
 
 # Regenerate the serving latency microbenchmark in results/.
 bench-serve:

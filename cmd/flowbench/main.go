@@ -16,10 +16,13 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"flowcube/internal/bench"
@@ -43,18 +46,39 @@ func run(args []string, stdout, stderr io.Writer) error {
 	candLimit := fs.Int("candidate-limit", 2_000_000, "per-length candidate cap for the basic baseline")
 	floor := fs.Int64("support-floor", 0, "lower bound on the absolute iceberg count (guards tiny -scale runs)")
 	quiet := fs.Bool("quiet", false, "suppress per-point progress lines")
+	micro := fs.Bool("micro", false, "run the counting-core micro-benchmarks (scan-1, trie counting, populate)")
+	microOut := fs.String("micro-out", "", "write the micro-benchmark suite as JSON to this file (default stdout)")
+	microIters := fs.Int("micro-iters", 0, "fixed iteration count per micro-benchmark (0 = time-targeted, the canonical mode)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile at exit to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	if *fig == "" && *ablation == "" {
+	if *fig == "" && *ablation == "" && !*micro {
 		*fig = "all"
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			_ = f.Close() // the profile never started; the empty file is useless either way
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			_ = f.Close() // StopCPUProfile flushed the data; a close failure loses nothing
+		}()
 	}
 	opts := bench.Options{
 		Scale:          *scale,
 		Seed:           *seed,
 		CandidateLimit: *candLimit,
 		SupportFloor:   *floor,
+		MicroIters:     *microIters,
 	}
 	if !*quiet {
 		opts.Progress = stderr
@@ -114,6 +138,49 @@ func run(args []string, stdout, stderr io.Writer) error {
 			bench.WriteRows(stdout, a.title, a.run(opts))
 			fmt.Fprintln(stdout)
 		}
+	}
+
+	if *micro {
+		if err := writeMicro(bench.Micro(opts), *microOut, stdout); err != nil {
+			return err
+		}
+	}
+	if *memprofile != "" {
+		if err := writeMemProfile(*memprofile); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeMicro serializes the micro-benchmark suite as indented JSON, to a
+// file when path is set and to stdout otherwise.
+func writeMicro(suite bench.MicroSuite, path string, stdout io.Writer) error {
+	out, err := json.MarshalIndent(suite, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if path == "" {
+		_, err := stdout.Write(out)
+		return err
+	}
+	return os.WriteFile(path, out, 0o644)
+}
+
+// writeMemProfile snapshots the heap into path.
+func writeMemProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("memprofile: %w", err)
+	}
+	runtime.GC() // settle the heap so the profile reflects live allocations
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		_ = f.Close() // the profile write already failed; that is the error to report
+		return fmt.Errorf("memprofile: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("memprofile: %w", err)
 	}
 	return nil
 }

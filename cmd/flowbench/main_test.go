@@ -2,8 +2,13 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"flowcube/internal/bench"
 )
 
 func TestFigureSmoke(t *testing.T) {
@@ -34,6 +39,69 @@ func TestAblationSmoke(t *testing.T) {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("ablation output missing %q:\n%s", want, out.String())
 		}
+	}
+}
+
+func TestMicroSmoke(t *testing.T) {
+	dir := t.TempDir()
+	microPath := filepath.Join(dir, "micro.json")
+	cpuPath := filepath.Join(dir, "cpu.pprof")
+	memPath := filepath.Join(dir, "mem.pprof")
+	var out, errw bytes.Buffer
+	err := run([]string{
+		"-micro", "-micro-iters", "1", "-scale", "0.002", "-support-floor", "10",
+		"-micro-out", microPath, "-cpuprofile", cpuPath, "-memprofile", memPath,
+		"-quiet",
+	}, &out, &errw)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(microPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var suite bench.MicroSuite
+	if err := json.Unmarshal(raw, &suite); err != nil {
+		t.Fatalf("micro output is not valid JSON: %v", err)
+	}
+	names := map[string]bool{}
+	for _, r := range suite.Results {
+		names[r.Name] = true
+		if r.Iterations != 1 {
+			t.Errorf("%s: iterations = %d, want 1 (-micro-iters 1)", r.Name, r.Iterations)
+		}
+	}
+	for _, want := range []string{"scan1/workers=1", "populate/run", "populate/assign"} {
+		if !names[want] {
+			t.Errorf("micro suite missing %q; have %v", want, names)
+		}
+	}
+
+	for _, p := range []string{cpuPath, memPath} {
+		info, err := os.Stat(p)
+		if err != nil {
+			t.Errorf("profile %s: %v", p, err)
+		} else if info.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+}
+
+func TestMicroToStdout(t *testing.T) {
+	var out, errw bytes.Buffer
+	err := run([]string{
+		"-micro", "-micro-iters", "1", "-scale", "0.002", "-support-floor", "10", "-quiet",
+	}, &out, &errw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var suite bench.MicroSuite
+	if err := json.Unmarshal(out.Bytes(), &suite); err != nil {
+		t.Fatalf("stdout is not valid JSON: %v\n%s", err, out.String())
+	}
+	if len(suite.Results) == 0 {
+		t.Error("micro suite has no results")
 	}
 }
 

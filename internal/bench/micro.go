@@ -1,0 +1,213 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"flowcube/internal/core"
+	"flowcube/internal/datagen"
+	"flowcube/internal/hierarchy"
+	"flowcube/internal/itemset"
+	"flowcube/internal/mining"
+	"flowcube/internal/transact"
+)
+
+// MicroResult is one micro-benchmark measurement; the suite serializes to
+// BENCH_mining.json via cmd/flowbench -micro.
+type MicroResult struct {
+	Name        string `json:"name"`
+	Iterations  int    `json:"iterations"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+}
+
+// MicroSuite is the canonical counting-core benchmark set: the dense first
+// scan, candidate-trie support counting (sequential, sharded, and the
+// pre-sharding atomic reference), and the populate assignment loop against
+// its pre-optimization string-key reference.
+type MicroSuite struct {
+	GoVersion  string        `json:"go_version"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Paths      int           `json:"paths"`
+	Seed       int64         `json:"seed"`
+	Results    []MicroResult `json:"results"`
+}
+
+// Micro runs the counting-core micro-benchmarks on one synthetic dataset
+// (paper baseline scaled by Options.Scale).
+func Micro(o Options) MicroSuite {
+	cfg := o.baseConfig()
+	cfg.NumPaths = int(100_000 * o.scale())
+	ds := datagen.MustGenerate(cfg)
+	syms := transact.MustNewSymbols(ds.Schema, ds.DefaultPlan())
+	txs := syms.Encode(ds.DB)
+
+	suite := MicroSuite{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Paths:      cfg.NumPaths,
+		Seed:       cfg.Seed,
+	}
+	add := func(name string, op func()) {
+		var res MicroResult
+		if o.MicroIters > 0 {
+			res = measureFixed(o.MicroIters, op)
+		} else {
+			r := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					op()
+				}
+			})
+			res = MicroResult{
+				Iterations:  r.N,
+				NsPerOp:     r.NsPerOp(),
+				BytesPerOp:  r.AllocedBytesPerOp(),
+				AllocsPerOp: r.AllocsPerOp(),
+			}
+		}
+		res.Name = name
+		suite.Results = append(suite.Results, res)
+		o.progress("micro %s: %d ns/op, %d B/op, %d allocs/op",
+			name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
+	}
+
+	// First scan: dense slice counters plus the top-level pair precount.
+	for _, workers := range []int{1, 8} {
+		workers := workers
+		add(fmt.Sprintf("scan1/workers=%d", workers), func() {
+			mining.FirstScan(syms, txs, true, workers)
+		})
+	}
+
+	// Candidate-trie support counting at lengths 2–4. One op is a full pass
+	// over the database; counts accumulate across ops, which costs nothing
+	// and keeps the timed region pure counting.
+	minCount := o.minCount(0.01, ds.DB.Len())
+	for k := 2; k <= 4; k++ {
+		cands := candidatesAt(syms, txs, k, minCount)
+		if len(cands) == 0 {
+			o.progress("micro trie-count/k=%d: no candidates at this scale, skipped", k)
+			continue
+		}
+		build := func() *itemset.Trie {
+			tr := itemset.NewTrie()
+			for _, c := range cands {
+				tr.Insert(c)
+			}
+			return tr
+		}
+		seq := build()
+		add(fmt.Sprintf("trie-count/k=%d/seq", k), func() {
+			for _, tx := range txs {
+				seq.Count(tx)
+			}
+		})
+		sharded := build()
+		add(fmt.Sprintf("trie-count/k=%d/sharded-8", k), func() {
+			sharded.CountParallel(txs, 8)
+		})
+		atomicRef := build()
+		add(fmt.Sprintf("trie-count/k=%d/atomic-8", k), func() {
+			atomicRef.CountParallelAtomic(txs, 8)
+		})
+	}
+
+	// populate: the full pass, the record→cell assignment alone, and the
+	// pre-optimization fmt-string-key assignment loop as the allocation
+	// reference.
+	ccfg := core.Config{MinCount: minCount, Plan: ds.DefaultPlan()}
+	cube, run, assign, err := core.PopulateBench(ds.DB, ccfg)
+	if err != nil {
+		panic(fmt.Sprintf("bench: populate preparation failed: %v", err))
+	}
+	add("populate/run", run)
+	add("populate/assign", assign)
+	add("populate/assign-reference-stringkey", func() {
+		referenceAssign(cube, ds)
+	})
+	return suite
+}
+
+// measureFixed times exactly iters calls of op, reading allocator stats
+// around the loop — the quick path smoke tests use in place of
+// testing.Benchmark's ~1s-per-benchmark ramp-up.
+func measureFixed(iters int, op func()) MicroResult {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		op()
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	n := int64(iters)
+	return MicroResult{
+		Iterations:  iters,
+		NsPerOp:     elapsed.Nanoseconds() / n,
+		BytesPerOp:  int64(after.TotalAlloc-before.TotalAlloc) / n,
+		AllocsPerOp: int64(after.Mallocs-before.Mallocs) / n,
+	}
+}
+
+// candidatesAt reproduces the Apriori candidate set of length k: mine the
+// frequent itemsets up to length k-1, then join.
+func candidatesAt(syms *transact.Symbols, txs []transact.Transaction, k int, minCount int64) [][]transact.Item {
+	opts := mining.SharedOptions(0.01)
+	opts.MinCount = minCount
+	opts.MaxLen = k - 1
+	res, err := mining.Mine(syms, txs, opts)
+	if err != nil {
+		panic(fmt.Sprintf("bench: candidate mining failed: %v", err))
+	}
+	if len(res.ByLength) < k-1 || len(res.ByLength[k-2]) == 0 {
+		return nil
+	}
+	return itemset.Join(res.ByLength[k-2])
+}
+
+// referenceAssign is the pre-optimization record→cell assignment loop —
+// fmt-formatted string keys, per-target ancestor lookups — kept read-only
+// here as the allocation baseline populate/assign is measured against.
+func referenceAssign(cube *core.Cube, ds *datagen.Dataset) int {
+	schema := ds.Schema
+	values := make([]hierarchy.NodeID, len(schema.Dims))
+	hits := 0
+	for _, cb := range cube.Cuboids {
+		if len(cb.Cells) == 0 {
+			continue
+		}
+		levels := cb.Spec.Item
+		for tid := range ds.DB.Records {
+			rec := &ds.DB.Records[tid]
+			for d, v := range rec.Dims {
+				if levels[d] == 0 {
+					values[d] = hierarchy.Root
+				} else {
+					values[d] = schema.Dims[d].AncestorAt(v, levels[d])
+				}
+			}
+			if _, ok := cb.Cells[referenceCellKey(values)]; ok {
+				hits++
+			}
+		}
+	}
+	return hits
+}
+
+// referenceCellKey reproduces the fmt-based cell key the assignment loop
+// used before the packed-key plan.
+func referenceCellKey(values []hierarchy.NodeID) string {
+	var b strings.Builder
+	for i, v := range values {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", v)
+	}
+	return b.String()
+}

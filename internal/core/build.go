@@ -18,9 +18,32 @@ import (
 // for every frequent cell of every requested cuboid, mines exceptions from
 // the frequent segments, and — when τ is set — marks redundant cells.
 func Build(db *pathdb.DB, cfg Config) (*Cube, error) {
-	syms, err := transact.NewSymbols(db.Schema, cfg.Plan)
+	cube, conds, err := prepare(db, cfg)
 	if err != nil {
 		return nil, err
+	}
+
+	// One scan of the path database assigns records to the cells of every
+	// materialized cuboid and folds their paths into the flowgraphs.
+	cube.populate(db)
+
+	if cfg.MineExceptions {
+		cube.mineExceptions(db, conds)
+	}
+	if cfg.Tau > 0 {
+		cube.MarkRedundancy(cfg.Tau)
+	}
+	return cube, nil
+}
+
+// prepare runs everything that precedes the populate scan — encoding,
+// mining, cuboid validation, and frequent-cell instantiation — and returns
+// the cube with empty cells plus the per-cell exception conditions. Split
+// from Build so benchmarks can time populate in isolation (PopulateBench).
+func prepare(db *pathdb.DB, cfg Config) (*Cube, cellConds, error) {
+	syms, err := transact.NewSymbols(db.Schema, cfg.Plan)
+	if err != nil {
+		return nil, nil, err
 	}
 	txs := syms.Encode(db)
 
@@ -34,10 +57,10 @@ func Build(db *pathdb.DB, cfg Config) (*Cube, error) {
 	}
 	res, err := mining.Mine(syms, txs, mopts)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if res.Aborted {
-		return nil, fmt.Errorf("core: mining aborted by candidate limit; raise the limit or the minimum support")
+		return nil, nil, fmt.Errorf("core: mining aborted by candidate limit; raise the limit or the minimum support")
 	}
 	minCount := res.MinCount
 
@@ -56,7 +79,7 @@ func Build(db *pathdb.DB, cfg Config) (*Cube, error) {
 	}
 	for _, spec := range specs {
 		if err := validateSpec(spec, syms, db.Schema); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		cube.Cuboids[spec.Key()] = &Cuboid{Spec: spec, Cells: make(map[string]*Cell)}
 	}
@@ -64,18 +87,7 @@ func Build(db *pathdb.DB, cfg Config) (*Cube, error) {
 	// Instantiate frequent cells from the mining output, and collect the
 	// exception conditions per cell from the mixed dim+stage itemsets.
 	conds := cube.instantiateCells(db, res)
-
-	// One scan of the path database assigns records to the cells of every
-	// materialized cuboid and folds their paths into the flowgraphs.
-	cube.populate(db)
-
-	if cfg.MineExceptions {
-		cube.mineExceptions(db, conds)
-	}
-	if cfg.Tau > 0 {
-		cube.MarkRedundancy(cfg.Tau)
-	}
-	return cube, nil
+	return cube, conds, nil
 }
 
 func validateSpec(spec CuboidSpec, syms *transact.Symbols, schema *pathdb.Schema) error {
@@ -247,43 +259,100 @@ func (c *Cube) addCell(il ItemLevel, values []hierarchy.NodeID, count int64) {
 // populate assigns every record to its cell in every materialized cuboid
 // and builds the flowgraph measures.
 func (c *Cube) populate(db *pathdb.DB) {
-	type target struct {
-		cb     *Cuboid
-		levels ItemLevel
-	}
-	// Sorted cuboid/cell order keeps the job list — and therefore worker
-	// scheduling and any profile of it — identical across runs.
-	var targets []target
+	targets := c.populateTargets()
+	c.assignCells(db, targets)
+	c.buildGraphs(db, targets)
+}
+
+// populateTargets lists the cuboids with at least one frequent cell. Sorted
+// cuboid order keeps slot numbering and the graph job list — and therefore
+// worker scheduling and any profile of it — identical across runs.
+func (c *Cube) populateTargets() []*Cuboid {
+	var targets []*Cuboid
 	for _, cb := range c.sortedCuboids() {
 		if len(cb.Cells) > 0 {
-			targets = append(targets, target{cb: cb, levels: cb.Spec.Item})
+			targets = append(targets, cb)
 		}
 	}
-	values := make([]hierarchy.NodeID, len(db.Schema.Dims))
-	for tid, rec := range db.Records {
-		for _, t := range targets {
-			for d, v := range rec.Dims {
-				if t.levels[d] == 0 {
-					values[d] = hierarchy.Root
-				} else {
-					values[d] = db.Schema.Dims[d].AncestorAt(v, t.levels[d])
-				}
+	return targets
+}
+
+// assignCells routes every record to its cell in every target cuboid using
+// the packed-key assignment plan. The record range is split into contiguous
+// chunks, one per worker; each worker appends tids into its own per-slot
+// buckets, and the buckets are concatenated in worker order — which, because
+// the chunks cover ascending tid ranges, reproduces the sequential scan's
+// tid order exactly.
+func (c *Cube) assignCells(db *pathdb.DB, targets []*Cuboid) {
+	if len(targets) == 0 {
+		return
+	}
+	plan := newAssignPlan(db.Schema, targets)
+	n := len(db.Records)
+	workers := c.Config.Workers
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	buckets := make([][][]int32, workers)
+	if workers == 1 {
+		buckets[0] = make([][]int32, len(plan.slots))
+		plan.assign(db, 0, n, buckets[0])
+	} else {
+		chunk := (n + workers - 1) / workers
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			hi := lo + chunk
+			if hi > n {
+				hi = n
 			}
-			cell, ok := t.cb.Cells[cellKey(values)]
-			if !ok {
+			if lo >= hi {
 				continue
 			}
-			cell.tids = append(cell.tids, int32(tid))
+			wg.Add(1)
+			go func(w, lo, hi int) {
+				defer wg.Done()
+				b := make([][]int32, len(plan.slots))
+				plan.assign(db, lo, hi, b)
+				buckets[w] = b
+			}(w, lo, hi)
 		}
+		wg.Wait()
 	}
+	for slot, cell := range plan.slots {
+		total := 0
+		for _, b := range buckets {
+			if b != nil {
+				total += len(b[slot])
+			}
+		}
+		if total == 0 {
+			continue
+		}
+		tids := make([]int32, 0, total)
+		for _, b := range buckets {
+			if b != nil {
+				tids = append(tids, b[slot]...)
+			}
+		}
+		cell.tids = tids
+	}
+}
+
+// buildGraphs constructs the flowgraph measure of every cell from its
+// assigned tids; cells are independent, so the work spreads across workers.
+func (c *Cube) buildGraphs(db *pathdb.DB, targets []*Cuboid) {
 	type job struct {
 		cell *Cell
 		pl   pathdb.PathLevel
 	}
 	var jobs []job
-	for _, t := range targets {
-		pl := c.Symbols.PathLevels()[t.cb.Spec.PathLevel]
-		for _, cell := range t.cb.SortedCells() {
+	for _, cb := range targets {
+		pl := c.Symbols.PathLevels()[cb.Spec.PathLevel]
+		for _, cell := range cb.SortedCells() {
 			jobs = append(jobs, job{cell: cell, pl: pl})
 		}
 	}
@@ -295,6 +364,37 @@ func (c *Cube) populate(db *pathdb.DB) {
 		}
 		j.cell.Graph = g
 	})
+}
+
+// PopulateBench prepares a cube (encode, mine, instantiate cells) and
+// returns closures over it for benchmarking populate in isolation: run
+// re-executes the full populate pass (assignment plus flowgraphs) and
+// assign re-executes only the record→cell assignment. Both reset the cells
+// first so every call does full work on identical input. The cube is
+// returned so callers can verify the benched state.
+func PopulateBench(db *pathdb.DB, cfg Config) (cube *Cube, run, assign func(), err error) {
+	cube, _, err = prepare(db, cfg)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	targets := cube.populateTargets()
+	reset := func() {
+		for _, cb := range targets {
+			for _, cell := range cb.Cells {
+				cell.tids = nil
+				cell.Graph = nil
+			}
+		}
+	}
+	run = func() {
+		reset()
+		cube.populate(db)
+	}
+	assign = func() {
+		reset()
+		cube.assignCells(db, targets)
+	}
+	return cube, run, assign, nil
 }
 
 // forEach runs fn over [0,n) — concurrently when Config.Workers > 1. Each

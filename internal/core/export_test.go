@@ -1,0 +1,10 @@
+package core
+
+// SetMaxPackedKeyBitsForTest overrides the packed cell-key width cap so
+// tests can force the binary-string key fallback on small schemas. The
+// returned func restores the production value.
+func SetMaxPackedKeyBitsForTest(n int) (restore func()) {
+	old := maxPackedKeyBits
+	maxPackedKeyBits = n
+	return func() { maxPackedKeyBits = old }
+}

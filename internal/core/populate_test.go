@@ -1,0 +1,79 @@
+package core_test
+
+import (
+	"testing"
+
+	"flowcube/internal/core"
+	"flowcube/internal/paperex"
+)
+
+// TestPopulateParallelMatchesSequential: the sharded record→cell assignment
+// must produce byte-identical cubes at every worker count — the same tids in
+// the same order, identical flowgraphs, identical snapshots.
+func TestPopulateParallelMatchesSequential(t *testing.T) {
+	base := core.Config{
+		MinCount:       2,
+		Epsilon:        0.1,
+		MineExceptions: true,
+		Workers:        1,
+	}
+	_, seq := buildExample(t, base)
+	want, wantLen := saveDigest(t, seq)
+	for _, workers := range []int{2, 4, 8} {
+		cfg := base
+		cfg.Workers = workers
+		_, cube := buildExample(t, cfg)
+		got, gotLen := saveDigest(t, cube)
+		if got != want {
+			t.Fatalf("workers=%d: snapshot %x (%d bytes) differs from sequential %x (%d bytes)",
+				workers, got, gotLen, want, wantLen)
+		}
+	}
+}
+
+// TestPopulateBinaryKeyFallback: schemas too wide for a uint64 key take the
+// fixed-width binary-string path; forcing it must not change the cube, with
+// or without workers.
+func TestPopulateBinaryKeyFallback(t *testing.T) {
+	base := core.Config{MinCount: 2, Workers: 1}
+	_, packed := buildExample(t, base)
+	want, _ := saveDigest(t, packed)
+	restore := core.SetMaxPackedKeyBitsForTest(0)
+	defer restore()
+	for _, workers := range []int{1, 4} {
+		cfg := base
+		cfg.Workers = workers
+		_, cube := buildExample(t, cfg)
+		got, _ := saveDigest(t, cube)
+		if got != want {
+			t.Fatalf("workers=%d: binary-key snapshot differs from packed-key snapshot", workers)
+		}
+	}
+}
+
+// TestPopulateBenchClosures: the benchmark hooks rebuild exactly the state
+// Build's populate leaves behind, and stay stable across repeated runs.
+func TestPopulateBenchClosures(t *testing.T) {
+	ex := paperex.New()
+	cfg := core.Config{MinCount: 2, Plan: examplePlan(ex)}
+	_, full := buildExample(t, cfg)
+	want, _ := saveDigest(t, full)
+
+	cube, run, assign, err := core.PopulateBench(ex.DB, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		run()
+		got, _ := saveDigest(t, cube)
+		if got != want {
+			t.Fatalf("run %d: benched cube snapshot differs from Build's", i)
+		}
+	}
+	// assign alone leaves graphs unset; a following run must still converge.
+	assign()
+	run()
+	if got, _ := saveDigest(t, cube); got != want {
+		t.Fatalf("assign+run: benched cube snapshot differs from Build's")
+	}
+}

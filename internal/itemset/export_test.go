@@ -1,0 +1,15 @@
+package itemset
+
+import "flowcube/internal/transact"
+
+// CountRecursive applies the recursive reference counter (countNode) to one
+// transaction. Tests use it as the oracle the iterative flat-trie merge-walk
+// must agree with.
+func (t *Trie) CountRecursive(tx transact.Transaction) {
+	t.thaw()
+	countNode(&t.root, tx)
+}
+
+// Frozen reports whether the trie currently holds a flattened counting
+// layout, for tests asserting the freeze/thaw lifecycle.
+func (t *Trie) Frozen() bool { return t.flat != nil }

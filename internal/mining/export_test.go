@@ -1,0 +1,10 @@
+package mining
+
+// SetMaxDensePairsForTest overrides the dense pair-matrix cap so tests can
+// force the sparse fallback on small inputs. The returned func restores the
+// production value.
+func SetMaxDensePairsForTest(n int) (restore func()) {
+	old := maxDensePairs
+	maxDensePairs = n
+	return func() { maxDensePairs = old }
+}

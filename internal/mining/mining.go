@@ -87,7 +87,11 @@ type Result struct {
 	// Aborted is true when CandidateLimit stopped the run early.
 	Aborted bool
 
-	index map[string]int64
+	// indexOnce guards the lazy build of index: Result is reachable from
+	// concurrent readers (e.g. flowserve handlers inspecting a cube's
+	// mining run), so the first Support call must not race later ones.
+	indexOnce sync.Once
+	index     map[string]int64
 }
 
 // All returns every frequent itemset across lengths.
@@ -100,16 +104,17 @@ func (r *Result) All() []itemset.Counted {
 }
 
 // Support looks up the support count of a sorted itemset; ok is false when
-// the set is not frequent.
+// the set is not frequent. Safe for concurrent callers: the lazy index
+// builds exactly once.
 func (r *Result) Support(set []transact.Item) (int64, bool) {
-	if r.index == nil {
+	r.indexOnce.Do(func() {
 		r.index = make(map[string]int64)
 		for _, l := range r.ByLength {
 			for _, c := range l {
 				r.index[itemset.Key(c.Set)] = c.Count
 			}
 		}
-	}
+	})
 	n, ok := r.index[itemset.Key(set)]
 	return n, ok
 }
@@ -141,47 +146,154 @@ func ResolveMinCount(opts Options, n int) (int64, error) {
 	return c, nil
 }
 
-// scanOnce performs the first database pass: item supports and, when
-// precount is set, supports of pairs of top-abstraction-level items. With
-// workers > 1 the transactions are sharded and the per-worker maps merged;
-// the result is identical to the sequential scan.
-func scanOnce(syms *transact.Symbols, txs []transact.Transaction, precount bool, workers int) (map[transact.Item]int64, map[int64]int64) {
-	scan := func(part []transact.Transaction) (map[transact.Item]int64, map[int64]int64) {
-		items := make(map[transact.Item]int64)
-		var pairs map[int64]int64
-		if precount {
-			pairs = make(map[int64]int64)
+// maxDensePairs caps the dense pair matrix at 1M entries (8 MiB per
+// worker); beyond that the precount falls back to a sparse map. A variable
+// so tests can shrink it to exercise the sparse path.
+var maxDensePairs = 1 << 20
+
+// PairCounts holds the pre-counted supports of unordered pairs of
+// top-abstraction-level items from the first scan. The counts live either
+// in a dense T×T matrix over the T top-level items (the common case —
+// cache-friendly, allocation-free increments) or, when T² exceeds
+// maxDensePairs, in a sparse map keyed by packed item pair.
+type PairCounts struct {
+	// topIdx maps every interned item to its dense top-level index, or -1
+	// when the item is not at the top abstraction level. Shared (read-only)
+	// across per-worker shards.
+	topIdx []int32
+	nTop   int
+
+	dense  []int64
+	sparse map[int64]int64
+}
+
+// newPairCounts builds the shared index over the symbol table and the
+// zeroed count store.
+func newPairCounts(syms *transact.Symbols) *PairCounts {
+	p := &PairCounts{topIdx: make([]int32, syms.Len())}
+	for i := range p.topIdx {
+		if syms.IsTopLevel(transact.Item(i)) {
+			p.topIdx[i] = int32(p.nTop)
+			p.nTop++
+		} else {
+			p.topIdx[i] = -1
 		}
-		var topBuf []transact.Item
+	}
+	p.alloc()
+	return p
+}
+
+func (p *PairCounts) alloc() {
+	if p.nTop*p.nTop <= maxDensePairs {
+		p.dense = make([]int64, p.nTop*p.nTop)
+	} else {
+		p.sparse = make(map[int64]int64)
+	}
+}
+
+// emptyShard returns a zeroed store sharing the read-only top-level index,
+// for one scan worker.
+func (p *PairCounts) emptyShard() *PairCounts {
+	s := &PairCounts{topIdx: p.topIdx, nTop: p.nTop}
+	s.alloc()
+	return s
+}
+
+// merge folds a worker shard into p. Integer addition is exact and
+// commutative, so the merged counts match the sequential scan regardless of
+// worker scheduling.
+func (p *PairCounts) merge(s *PairCounts) {
+	if p.dense != nil {
+		for i, v := range s.dense {
+			if v != 0 {
+				p.dense[i] += v
+			}
+		}
+		return
+	}
+	for k, v := range s.sparse {
+		p.sparse[k] += v
+	}
+}
+
+// Get reports the pre-counted support of the unordered pair {a, b}; zero
+// when either item is not top-level or the pair never co-occurred.
+func (p *PairCounts) Get(a, b transact.Item) int64 {
+	if p == nil {
+		return 0
+	}
+	if p.dense != nil {
+		ia, ib := p.topIdx[a], p.topIdx[b]
+		if ia < 0 || ib < 0 {
+			return 0
+		}
+		if ia > ib {
+			ia, ib = ib, ia
+		}
+		return p.dense[int(ia)*p.nTop+int(ib)]
+	}
+	return p.sparse[pairKey(a, b)]
+}
+
+// FirstScan performs the first database pass: per-item supports in a dense
+// slice indexed by transact.Item (items are small dense ints, so the scan's
+// inner loop is a slice increment, not a map probe), plus — when precount
+// is set — the supports of pairs of top-abstraction-level items. With
+// workers > 1 the transactions are sharded into contiguous chunks and the
+// per-worker counters merged; integer merges are exact, so the result is
+// identical to the sequential scan. Exported for the micro-benchmark
+// harness and the equivalence tests; Mine is the production caller.
+func FirstScan(syms *transact.Symbols, txs []transact.Transaction, precount bool, workers int) ([]int64, *PairCounts) {
+	var master *PairCounts
+	if precount {
+		master = newPairCounts(syms)
+	}
+	scan := func(items []int64, pairs *PairCounts, part []transact.Transaction) {
+		var topBuf []int32
 		for _, tx := range part {
 			for _, it := range tx {
 				items[it]++
 			}
-			if !precount {
+			if pairs == nil {
 				continue
 			}
+			// Transactions are item-sorted and dense top indexes are
+			// assigned in item order, so topBuf stays ascending and the
+			// dense writes hit the upper triangle Get reads.
 			topBuf = topBuf[:0]
+			if pairs.dense != nil {
+				for _, it := range tx {
+					if idx := pairs.topIdx[it]; idx >= 0 {
+						topBuf = append(topBuf, idx)
+					}
+				}
+				for i := 0; i < len(topBuf); i++ {
+					row := int(topBuf[i]) * pairs.nTop
+					for j := i + 1; j < len(topBuf); j++ {
+						pairs.dense[row+int(topBuf[j])]++
+					}
+				}
+				continue
+			}
 			for _, it := range tx {
-				if syms.IsTopLevel(it) {
-					topBuf = append(topBuf, it)
+				if pairs.topIdx[it] >= 0 {
+					topBuf = append(topBuf, int32(it))
 				}
 			}
 			for i := 0; i < len(topBuf); i++ {
 				for j := i + 1; j < len(topBuf); j++ {
-					pairs[pairKey(topBuf[i], topBuf[j])]++
+					pairs.sparse[pairKey(transact.Item(topBuf[i]), transact.Item(topBuf[j]))]++
 				}
 			}
 		}
-		return items, pairs
 	}
 	if workers <= 1 || len(txs) < 2*workers {
-		return scan(txs)
+		items := make([]int64, syms.Len())
+		scan(items, master, txs)
+		return items, master
 	}
-	type result struct {
-		items map[transact.Item]int64
-		pairs map[int64]int64
-	}
-	results := make([]result, workers)
+	itemShards := make([][]int64, workers)
+	pairShards := make([]*PairCounts, workers)
 	var wg sync.WaitGroup
 	chunk := (len(txs) + workers - 1) / workers
 	for w := 0; w < workers; w++ {
@@ -196,21 +308,31 @@ func scanOnce(syms *transact.Symbols, txs []transact.Transaction, precount bool,
 		wg.Add(1)
 		go func(w int, part []transact.Transaction) {
 			defer wg.Done()
-			results[w].items, results[w].pairs = scan(part)
+			items := make([]int64, syms.Len())
+			var pairs *PairCounts
+			if master != nil {
+				pairs = master.emptyShard()
+			}
+			scan(items, pairs, part)
+			itemShards[w], pairShards[w] = items, pairs
 		}(w, txs[lo:hi])
 	}
 	wg.Wait()
-	items := results[0].items
-	pairs := results[0].pairs
-	for _, r := range results[1:] {
-		for it, n := range r.items {
-			items[it] += n
+	items := make([]int64, syms.Len())
+	for w, shard := range itemShards {
+		if shard == nil {
+			continue
 		}
-		for k, n := range r.pairs {
-			pairs[k] += n
+		for i, v := range shard {
+			if v != 0 {
+				items[i] += v
+			}
+		}
+		if master != nil {
+			master.merge(pairShards[w])
 		}
 	}
-	return items, pairs
+	return items, master
 }
 
 // pairKey packs an unordered item pair.
@@ -238,19 +360,27 @@ func Mine(syms *transact.Symbols, txs []transact.Transaction, opts Options) (*Re
 	if workers < 1 {
 		workers = 1
 	}
-	itemCounts, pairCounts := scanOnce(syms, txs, opts.Precount, workers)
+	itemCounts, pairCounts := FirstScan(syms, txs, opts.Precount, workers)
 	res.Scans = 1
 
+	// The dense counter covers every interned item; only items that occur
+	// in the scanned transactions count as generated (matching the old
+	// map-based scan, whose keys were exactly the occurring items).
 	var l1 []itemset.Counted
+	distinct := 0
 	for it, n := range itemCounts {
+		if n == 0 {
+			continue
+		}
+		distinct++
 		if n >= minCount {
-			l1 = append(l1, itemset.Counted{Set: []transact.Item{it}, Count: n})
+			l1 = append(l1, itemset.Counted{Set: []transact.Item{transact.Item(it)}, Count: n})
 		}
 	}
 	itemset.SortCounted(l1)
 	res.ByLength = append(res.ByLength, l1)
 	res.Levels = append(res.Levels, LevelStats{
-		Length: 1, Generated: len(itemCounts), Counted: len(itemCounts), Frequent: len(l1),
+		Length: 1, Generated: distinct, Counted: distinct, Frequent: len(l1),
 	})
 
 	prev := l1
@@ -305,12 +435,12 @@ func Mine(syms *transact.Symbols, txs []transact.Transaction, opts Options) (*Re
 // already at the top abstraction level, its derivable top-level
 // generalization otherwise; when either image is unknown the candidate
 // cannot be pruned.
-func precountPrunes(syms *transact.Symbols, pairCounts map[int64]int64, a, b transact.Item, minCount int64) bool {
+func precountPrunes(syms *transact.Symbols, pairCounts *PairCounts, a, b transact.Item, minCount int64) bool {
 	ia, ib := syms.PrecountImage(a), syms.PrecountImage(b)
 	if ia < 0 || ib < 0 || ia == ib {
 		return false
 	}
-	return pairCounts[pairKey(ia, ib)] < minCount
+	return pairCounts.Get(ia, ib) < minCount
 }
 
 // Shared runs Algorithm 1 with all optimizations enabled.
