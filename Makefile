@@ -2,7 +2,7 @@
 # scripts/check.sh (vet + build + flowlint + race-detector tests + short
 # fuzz).
 
-.PHONY: build test check lint fuzz-short bench bench-serve
+.PHONY: build test check lint fuzz-short bench bench-serve bench-persist
 
 build:
 	go build ./...
@@ -18,9 +18,13 @@ check:
 lint:
 	go run ./cmd/flowlint ./...
 
-# 10-second fuzz pass over the text parsers (cell specs, .fdb records).
+# 10-second fuzz pass over the text parsers (cell specs, .fdb records) and
+# the binary snapshot decoder. Minimization is iteration-bounded: snapshot
+# inputs are tens of kilobytes, and the default 60s time-based minimization
+# of each newly interesting input would dwarf the fuzz time itself.
 fuzz-short:
 	go test ./internal/core -run '^$$' -fuzz FuzzParseCellSpec -fuzztime 10s
+	go test ./internal/core -run '^$$' -fuzz FuzzLoadSnapshot -fuzztime 10s -fuzzminimizetime 10x
 	go test ./internal/pathdb -run '^$$' -fuzz FuzzRead -fuzztime 10s
 
 # Regenerate the canonical counting-core benchmark suite (scan-1, trie
@@ -29,7 +33,13 @@ fuzz-short:
 bench:
 	go run ./cmd/flowbench -micro -quiet -micro-out BENCH_mining.json
 
-# Regenerate the serving latency microbenchmark in results/.
+# Regenerate the serving latency microbenchmark in results/. The results
+# path must be absolute: go test runs with the package directory as CWD.
 bench-serve:
-	FLOWSERVE_RESULTS=results/serve_latency.json go test ./internal/server -run ServeLatency -v
+	FLOWSERVE_RESULTS=$(CURDIR)/results/serve_latency.json go test ./internal/server -run ServeLatency -v
 	go test ./internal/server -bench BenchmarkCell -run '^$$'
+
+# Regenerate the snapshot-codec benchmark suite (v1 gob vs v2 columnar)
+# checked in as BENCH_persist.json. See DESIGN.md "Snapshot format v2".
+bench-persist:
+	go run ./cmd/flowbench -persist -quiet -persist-out BENCH_persist.json

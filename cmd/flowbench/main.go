@@ -8,6 +8,7 @@
 //	flowbench -fig 6 -scale 1          # Figure 6 at the paper's full 100k–1M
 //	flowbench -fig 7 -algos shared,cubing
 //	flowbench -ablation pruning,merge,counting,redundancy,iceberg,engine,parallel
+//	flowbench -persist -persist-out BENCH_persist.json
 //
 // Scale multiplies the paper's database sizes; the default 0.1 sweeps
 // 10k–100k paths and completes in minutes. Absolute times will not match
@@ -49,13 +50,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 	micro := fs.Bool("micro", false, "run the counting-core micro-benchmarks (scan-1, trie counting, populate)")
 	microOut := fs.String("micro-out", "", "write the micro-benchmark suite as JSON to this file (default stdout)")
 	microIters := fs.Int("micro-iters", 0, "fixed iteration count per micro-benchmark (0 = time-targeted, the canonical mode)")
+	persist := fs.Bool("persist", false, "run the snapshot-codec benchmarks (v1 gob vs v2 columnar, save/load, seq/parallel)")
+	persistOut := fs.String("persist-out", "", "write the persist benchmark suite as JSON to this file (default stdout)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile at exit to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	if *fig == "" && *ablation == "" && !*micro {
+	if *fig == "" && *ablation == "" && !*micro && !*persist {
 		*fig = "all"
 	}
 
@@ -141,7 +144,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	if *micro {
-		if err := writeMicro(bench.Micro(opts), *microOut, stdout); err != nil {
+		if err := writeJSON(bench.Micro(opts), *microOut, stdout); err != nil {
+			return err
+		}
+	}
+	if *persist {
+		if err := writeJSON(bench.Persist(opts), *persistOut, stdout); err != nil {
 			return err
 		}
 	}
@@ -153,9 +161,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	return nil
 }
 
-// writeMicro serializes the micro-benchmark suite as indented JSON, to a
-// file when path is set and to stdout otherwise.
-func writeMicro(suite bench.MicroSuite, path string, stdout io.Writer) error {
+// writeJSON serializes a benchmark suite as indented JSON, to a file when
+// path is set and to stdout otherwise.
+func writeJSON(suite any, path string, stdout io.Writer) error {
 	out, err := json.MarshalIndent(suite, "", "  ")
 	if err != nil {
 		return err

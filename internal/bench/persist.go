@@ -1,0 +1,137 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"runtime"
+	"testing"
+
+	"flowcube/internal/core"
+	"flowcube/internal/datagen"
+)
+
+// PersistSuite is the snapshot-codec benchmark set serialized to
+// BENCH_persist.json via cmd/flowbench -persist: the v1 gob baseline against
+// the v2 columnar codec, save and load, sequential and parallel. The summary
+// ratios are the two the format was built for — serialized size (v2/v1) and
+// load speedup (v1 time over parallel v2 time).
+type PersistSuite struct {
+	GoVersion   string        `json:"go_version"`
+	GOMAXPROCS  int           `json:"gomaxprocs"`
+	Paths       int           `json:"paths"`
+	Seed        int64         `json:"seed"`
+	Cells       int           `json:"cells"`
+	V1Bytes     int           `json:"v1_bytes"`
+	V2Bytes     int           `json:"v2_bytes"`
+	BytesRatio  float64       `json:"v2_over_v1_bytes"`
+	LoadSpeedup float64       `json:"load_speedup_v2_parallel_over_v1"`
+	Results     []MicroResult `json:"results"`
+}
+
+// persistWorkers is the parallel codec width benchmarked against the
+// sequential path; 8 matches the counting-core sharding benchmarks.
+const persistWorkers = 8
+
+// Persist benchmarks the snapshot codecs on one materialized cube (paper
+// baseline scaled by Options.Scale, exceptions mined so every section kind
+// is populated).
+func Persist(o Options) PersistSuite {
+	cfg := o.baseConfig()
+	cfg.NumPaths = int(100_000 * o.scale())
+	ds := datagen.MustGenerate(cfg)
+	cube, err := core.Build(ds.DB, core.Config{
+		MinSupport:            0.01,
+		Epsilon:               0.1,
+		Tau:                   0.5,
+		Plan:                  ds.DefaultPlan(),
+		MineExceptions:        true,
+		SingleStageExceptions: true,
+		Workers:               runtime.GOMAXPROCS(0),
+	})
+	if err != nil {
+		panic(fmt.Sprintf("bench: persist cube build failed: %v", err))
+	}
+
+	var v1buf, v2buf bytes.Buffer
+	if err := cube.SaveV1(&v1buf); err != nil {
+		panic(fmt.Sprintf("bench: v1 save failed: %v", err))
+	}
+	if err := cube.Save(&v2buf); err != nil {
+		panic(fmt.Sprintf("bench: v2 save failed: %v", err))
+	}
+	v1bytes, v2bytes := v1buf.Bytes(), v2buf.Bytes()
+
+	cells := 0
+	for _, cb := range cube.Cuboids {
+		cells += len(cb.Cells)
+	}
+	suite := PersistSuite{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Paths:      cfg.NumPaths,
+		Seed:       cfg.Seed,
+		Cells:      cells,
+		V1Bytes:    len(v1bytes),
+		V2Bytes:    len(v2bytes),
+		BytesRatio: float64(len(v2bytes)) / float64(len(v1bytes)),
+	}
+	add := func(name string, op func()) MicroResult {
+		var res MicroResult
+		if o.MicroIters > 0 {
+			res = measureFixed(o.MicroIters, op)
+		} else {
+			r := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					op()
+				}
+			})
+			res = MicroResult{
+				Iterations:  r.N,
+				NsPerOp:     r.NsPerOp(),
+				BytesPerOp:  r.AllocedBytesPerOp(),
+				AllocsPerOp: r.AllocsPerOp(),
+			}
+		}
+		res.Name = name
+		suite.Results = append(suite.Results, res)
+		o.progress("persist %s: %d ns/op, %d B/op, %d allocs/op",
+			name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
+		return res
+	}
+	mustLoad := func(cube *core.Cube, err error) {
+		if err != nil {
+			panic(fmt.Sprintf("bench: persist load failed: %v", err))
+		}
+	}
+
+	add("save/v1-gob", func() {
+		if err := cube.SaveV1(io.Discard); err != nil {
+			panic(fmt.Sprintf("bench: v1 save failed: %v", err))
+		}
+	})
+	add("save/v2/seq", func() {
+		if err := cube.SaveWith(io.Discard, core.SaveOptions{Workers: 1}); err != nil {
+			panic(fmt.Sprintf("bench: v2 save failed: %v", err))
+		}
+	})
+	add(fmt.Sprintf("save/v2/parallel-%d", persistWorkers), func() {
+		if err := cube.SaveWith(io.Discard, core.SaveOptions{Workers: persistWorkers}); err != nil {
+			panic(fmt.Sprintf("bench: v2 save failed: %v", err))
+		}
+	})
+
+	loadV1 := add("load/v1-gob", func() {
+		mustLoad(core.Load(bytes.NewReader(v1bytes)))
+	})
+	add("load/v2/seq", func() {
+		mustLoad(core.LoadWith(bytes.NewReader(v2bytes), core.LoadOptions{Workers: 1}))
+	})
+	loadV2 := add(fmt.Sprintf("load/v2/parallel-%d", persistWorkers), func() {
+		mustLoad(core.LoadWith(bytes.NewReader(v2bytes), core.LoadOptions{Workers: persistWorkers}))
+	})
+	if loadV2.NsPerOp > 0 {
+		suite.LoadSpeedup = float64(loadV1.NsPerOp) / float64(loadV2.NsPerOp)
+	}
+	return suite
+}

@@ -26,7 +26,7 @@ func examplePlan(ex *paperex.Example) transact.Plan {
 	}
 }
 
-func buildExample(t *testing.T, cfg core.Config) (*paperex.Example, *core.Cube) {
+func buildExample(t testing.TB, cfg core.Config) (*paperex.Example, *core.Cube) {
 	t.Helper()
 	ex := paperex.New()
 	if cfg.Plan.PathLevels == nil {

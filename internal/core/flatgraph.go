@@ -1,0 +1,244 @@
+package core
+
+// Binary encoding of flowgraph.Flat, the columnar flowgraph layout inside
+// v2 snapshot cuboid sections. Everything is varint-coded except float bits
+// (fixed 8-byte little-endian IEEE, so deviations round-trip exactly).
+// Outcome pools are delta-coded per distribution: outcomes are strictly
+// increasing within one distribution, so each value after the first is
+// stored as its positive gap from the previous one, which keeps duration
+// outcomes (small, clustered integers) to one or two bytes each.
+//
+// The decoder never trusts a claimed count: every element of every column
+// occupies at least one encoded byte, so counts are bounded by the bytes
+// remaining in the section before any column is allocated (byteReader.count).
+// Structural validity of the decoded columns — child ranges, offset
+// monotonicity, node references — is flowgraph.Unflatten's job.
+
+import (
+	"encoding/binary"
+	"math"
+
+	"flowcube/internal/flowgraph"
+)
+
+// appendFlatGraph appends the columnar graph to buf.
+func appendFlatGraph(buf []byte, f *flowgraph.Flat) []byte {
+	n := f.NumNodes()
+	buf = binary.AppendVarint(buf, f.Paths)
+	buf = binary.AppendUvarint(buf, uint64(n))
+	for _, l := range f.Locations {
+		buf = binary.AppendUvarint(buf, uint64(uint32(l)))
+	}
+	for _, c := range f.Counts {
+		buf = binary.AppendVarint(buf, c)
+	}
+	for i := 0; i < n; i++ {
+		buf = binary.AppendUvarint(buf, uint64(f.ChildLo[i+1]-f.ChildLo[i]))
+	}
+	for i := 0; i < n; i++ {
+		buf = binary.AppendUvarint(buf, uint64(f.TrLo[i]-f.DurLo[i]))
+		buf = binary.AppendUvarint(buf, uint64(f.DurLo[i+1]-f.TrLo[i]))
+	}
+	buf = appendDeltaPool(buf, f.Outcomes, distBounds(f.DurLo, f.TrLo))
+	for _, w := range f.Weights {
+		buf = binary.AppendUvarint(buf, uint64(w))
+	}
+
+	m := len(f.ExcNode)
+	buf = binary.AppendUvarint(buf, uint64(m))
+	for j := 0; j < m; j++ {
+		buf = binary.AppendUvarint(buf, uint64(uint32(f.ExcNode[j])))
+		buf = binary.AppendVarint(buf, f.ExcSupport[j])
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(f.ExcDurDev[j]))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(f.ExcTrDev[j]))
+		buf = binary.AppendUvarint(buf, uint64(f.ExcPinLo[j+1]-f.ExcPinLo[j]))
+		buf = binary.AppendUvarint(buf, uint64(f.ExcTrLo[j]-f.ExcDurLo[j]))
+		buf = binary.AppendUvarint(buf, uint64(f.ExcDurLo[j+1]-f.ExcTrLo[j]))
+	}
+	for i := range f.PinDepth {
+		buf = binary.AppendVarint(buf, int64(f.PinDepth[i]))
+		buf = binary.AppendUvarint(buf, uint64(uint32(f.PinLoc[i])))
+		buf = binary.AppendVarint(buf, f.PinDur[i])
+		if f.PinDurAny[i] {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+	}
+	buf = appendDeltaPool(buf, f.ExcOutcomes, distBounds(f.ExcDurLo, f.ExcTrLo))
+	for _, w := range f.ExcWeights {
+		buf = binary.AppendUvarint(buf, uint64(w))
+	}
+	return buf
+}
+
+// distBounds interleaves the duration and transition offsets into the flat
+// list of distribution boundaries: lo[0], tr[0], lo[1], tr[1], ..., lo[n].
+func distBounds(lo, tr []int32) []int32 {
+	bounds := make([]int32, 0, 2*len(tr)+1)
+	for i := range tr {
+		bounds = append(bounds, lo[i], tr[i])
+	}
+	return append(bounds, lo[len(tr)])
+}
+
+// appendDeltaPool delta-codes the pooled outcome column, restarting at each
+// distribution boundary: the first outcome of a distribution is zigzag
+// varint, the rest are positive gaps.
+func appendDeltaPool(buf []byte, pool []int64, bounds []int32) []byte {
+	for b := 0; b+1 < len(bounds); b++ {
+		lo, hi := bounds[b], bounds[b+1]
+		if lo == hi {
+			continue
+		}
+		buf = binary.AppendVarint(buf, pool[lo])
+		for k := lo + 1; k < hi; k++ {
+			buf = binary.AppendUvarint(buf, uint64(pool[k]-pool[k-1]))
+		}
+	}
+	return buf
+}
+
+// decodeFlatGraph reads one columnar graph from r. The result still has to
+// pass flowgraph.Unflatten's structural validation.
+func decodeFlatGraph(r *byteReader) (*flowgraph.Flat, error) {
+	f := &flowgraph.Flat{}
+	var err error
+	if f.Paths, err = r.varint(); err != nil {
+		return nil, err
+	}
+	n, err := r.count("node")
+	if err != nil {
+		return nil, err
+	}
+	if n < 1 {
+		return nil, r.corrupt("flat graph has no root node")
+	}
+	if f.Locations, err = r.int32Column(n); err != nil {
+		return nil, err
+	}
+	if f.Counts, err = r.varintColumn(n); err != nil {
+		return nil, err
+	}
+	f.ChildLo = make([]int32, n+1)
+	f.ChildLo[0] = 1
+	childTotal := 1
+	for i := 0; i < n; i++ {
+		kids, err := r.count("child")
+		if err != nil {
+			return nil, err
+		}
+		childTotal += kids
+		if childTotal > n {
+			return nil, r.corrupt("child ranges exceed node count")
+		}
+		f.ChildLo[i+1] = int32(childTotal)
+	}
+	f.DurLo = make([]int32, n+1)
+	f.TrLo = make([]int32, n)
+	total := 0
+	for i := 0; i < n; i++ {
+		durLen, err := r.count("duration outcome")
+		if err != nil {
+			return nil, err
+		}
+		trLen, err := r.count("transition outcome")
+		if err != nil {
+			return nil, err
+		}
+		f.DurLo[i] = int32(total)
+		f.TrLo[i] = int32(total + durLen)
+		total += durLen + trLen
+		if total > r.rem() {
+			return nil, r.corrupt("distribution pool larger than remaining section")
+		}
+	}
+	f.DurLo[n] = int32(total)
+	if f.Outcomes, err = r.deltaPool(total, distBounds(f.DurLo, f.TrLo)); err != nil {
+		return nil, err
+	}
+	if f.Weights, err = r.uvarintColumn(total, "weight"); err != nil {
+		return nil, err
+	}
+
+	m, err := r.count("exception")
+	if err != nil {
+		return nil, err
+	}
+	if m == 0 {
+		return f, nil
+	}
+	f.ExcNode = make([]int32, m)
+	f.ExcSupport = make([]int64, m)
+	f.ExcDurDev = make([]float64, m)
+	f.ExcTrDev = make([]float64, m)
+	f.ExcPinLo = make([]int32, m+1)
+	f.ExcDurLo = make([]int32, m+1)
+	f.ExcTrLo = make([]int32, m)
+	pinTotal, excTotal := 0, 0
+	for j := 0; j < m; j++ {
+		if f.ExcNode[j], err = r.int32(); err != nil {
+			return nil, err
+		}
+		if f.ExcSupport[j], err = r.varint(); err != nil {
+			return nil, err
+		}
+		if f.ExcDurDev[j], err = r.float64(); err != nil {
+			return nil, err
+		}
+		if f.ExcTrDev[j], err = r.float64(); err != nil {
+			return nil, err
+		}
+		pins, err := r.count("pin")
+		if err != nil {
+			return nil, err
+		}
+		durLen, err := r.count("exception duration outcome")
+		if err != nil {
+			return nil, err
+		}
+		trLen, err := r.count("exception transition outcome")
+		if err != nil {
+			return nil, err
+		}
+		f.ExcPinLo[j] = int32(pinTotal)
+		f.ExcDurLo[j] = int32(excTotal)
+		f.ExcTrLo[j] = int32(excTotal + durLen)
+		pinTotal += pins
+		excTotal += durLen + trLen
+		if pinTotal > r.rem() || excTotal > r.rem() {
+			return nil, r.corrupt("exception pools larger than remaining section")
+		}
+	}
+	f.ExcPinLo[m] = int32(pinTotal)
+	f.ExcDurLo[m] = int32(excTotal)
+	f.PinDepth = make([]int32, pinTotal)
+	f.PinLoc = make([]int32, pinTotal)
+	f.PinDur = make([]int64, pinTotal)
+	f.PinDurAny = make([]bool, pinTotal)
+	for i := 0; i < pinTotal; i++ {
+		depth, err := r.varint()
+		if err != nil {
+			return nil, err
+		}
+		f.PinDepth[i] = int32(depth)
+		if f.PinLoc[i], err = r.int32(); err != nil {
+			return nil, err
+		}
+		if f.PinDur[i], err = r.varint(); err != nil {
+			return nil, err
+		}
+		b, err := r.byte()
+		if err != nil {
+			return nil, err
+		}
+		f.PinDurAny[i] = b != 0
+	}
+	if f.ExcOutcomes, err = r.deltaPool(excTotal, distBounds(f.ExcDurLo, f.ExcTrLo)); err != nil {
+		return nil, err
+	}
+	if f.ExcWeights, err = r.uvarintColumn(excTotal, "exception weight"); err != nil {
+		return nil, err
+	}
+	return f, nil
+}

@@ -1,11 +1,11 @@
 package core
 
-// Cube persistence. A materialized flowcube is expensive to build (it runs
-// the Shared miner over the whole path database); Save/Load serialize the
-// finished cube — schema, plan, cells, flowgraph measures and exceptions —
-// so analysis sessions can reopen it without the path database. The format
-// is encoding/gob over explicit DTOs: the in-memory types keep unexported
-// fields and pointers that gob cannot (and should not) see.
+// Legacy snapshot format v1: encoding/gob over explicit recursive DTOs.
+// Save now writes the columnar v2 format (snapshotv2.go); this file keeps
+// the v1 codec so that (a) Load still opens every previously materialized
+// snapshot — LoadWith sniffs the magic and dispatches here — and (b) the
+// persist benchmarks and the golden-fixture compat test retain the gob
+// baseline to measure and regenerate against (SaveV1).
 
 import (
 	"encoding/gob"
@@ -241,10 +241,10 @@ func decodeGraph(dto graphDTO, loc *hierarchy.Hierarchy, level pathdb.PathLevel)
 	return g, nil
 }
 
-// Save serializes the materialized cube. The path database itself is not
-// saved — a loaded cube answers queries from its flowgraphs but cannot
-// re-mine exceptions.
-func (c *Cube) Save(w io.Writer) error {
+// SaveV1 serializes the cube in the legacy v1 gob format. New snapshots
+// should use Save (format v2); SaveV1 exists as the benchmark baseline and
+// to regenerate the v1 golden compat fixture.
+func (c *Cube) SaveV1(w io.Writer) error {
 	dto := cubeDTO{
 		Magic:     persistMagic,
 		Location:  encodeHierarchy(c.Schema.Location),
@@ -286,10 +286,8 @@ func (c *Cube) Save(w io.Writer) error {
 	return gob.NewEncoder(w).Encode(dto)
 }
 
-// Load reconstructs a cube saved with Save. The result supports Cell,
-// QueryGraph, MarkRedundancy and Compress; Mining statistics and the
-// ability to re-mine exceptions are gone with the path database.
-func Load(r io.Reader) (*Cube, error) {
+// loadV1 reconstructs a cube from the legacy v1 gob stream.
+func loadV1(r io.Reader) (*Cube, error) {
 	var dto cubeDTO
 	if err := gob.NewDecoder(r).Decode(&dto); err != nil {
 		return nil, fmt.Errorf("core: load cube: %w", err)

@@ -1,0 +1,76 @@
+package core_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"flowcube/internal/core"
+)
+
+// v1FixturePath is a checked-in legacy v1 gob snapshot of the Table-1
+// example cube. Regenerate with
+//
+//	FLOWCUBE_REGEN_FIXTURES=1 go test ./internal/core -run TestV1GoldenFixture
+//
+// after an intentional change to the fixture cube's build configuration.
+const v1FixturePath = "testdata/cube_v1.gob"
+
+func fixtureCube(t testing.TB) *core.Cube {
+	_, cube := buildExample(t, core.Config{
+		MinCount:              2,
+		Epsilon:               0.1,
+		Tau:                   0.5,
+		MineExceptions:        true,
+		SingleStageExceptions: true,
+	})
+	cube.MarkRedundancy(0.5)
+	return cube
+}
+
+// TestV1GoldenFixture guards backward compatibility of Load with snapshots
+// written before the v2 columnar format existed: the checked-in v1 gob file
+// must keep loading through the magic sniff, and the loaded cube must
+// re-save to exactly the bytes a freshly built cube saves — the v1→v2
+// upgrade path is byte-deterministic.
+func TestV1GoldenFixture(t *testing.T) {
+	if os.Getenv("FLOWCUBE_REGEN_FIXTURES") != "" {
+		if err := os.MkdirAll(filepath.Dir(v1FixturePath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := fixtureCube(t).SaveV1(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(v1FixturePath, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated %s (%d bytes)", v1FixturePath, buf.Len())
+	}
+
+	data, err := os.ReadFile(v1FixturePath)
+	if err != nil {
+		t.Fatalf("missing golden fixture (regenerate with FLOWCUBE_REGEN_FIXTURES=1): %v", err)
+	}
+	loaded, err := core.Load(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("v1 snapshot no longer loads: %v", err)
+	}
+
+	fresh := fixtureCube(t)
+	if loaded.NumCells() != fresh.NumCells() || len(loaded.Cuboids) != len(fresh.Cuboids) {
+		t.Fatalf("fixture cube shape drifted: %d cells / %d cuboids, want %d / %d",
+			loaded.NumCells(), len(loaded.Cuboids), fresh.NumCells(), len(fresh.Cuboids))
+	}
+
+	d1, n1 := saveDigest(t, loaded)
+	d2, _ := saveDigest(t, loaded)
+	if d1 != d2 {
+		t.Fatal("re-saving the loaded v1 cube is not byte-deterministic")
+	}
+	dFresh, _ := saveDigest(t, fresh)
+	if d1 != dFresh {
+		t.Errorf("v1→v2 upgrade bytes (%d) differ from a fresh build's v2 save", n1)
+	}
+}

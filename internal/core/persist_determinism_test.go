@@ -55,3 +55,41 @@ func TestSaveIsByteDeterministic(t *testing.T) {
 		t.Fatalf("save→load→save changed the bytes: %x (%d bytes) vs %x (%d bytes)", d1, n1, d3, n3)
 	}
 }
+
+// TestCodecIsWorkerCountInvariant pins the parallel-codec contract: encoding
+// cuboid sections on one goroutine or eight produces identical bytes, and
+// decoding with any worker count yields cubes that re-save identically. Run
+// under -race (scripts/check.sh) this also shakes out data races in the
+// worker pools.
+func TestCodecIsWorkerCountInvariant(t *testing.T) {
+	_, cube := buildExample(t, core.Config{
+		MinCount:              2,
+		Epsilon:               0.1,
+		Tau:                   0.5,
+		MineExceptions:        true,
+		SingleStageExceptions: true,
+	})
+	cube.MarkRedundancy(0.5)
+
+	var seq, par bytes.Buffer
+	if err := cube.SaveWith(&seq, core.SaveOptions{Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cube.SaveWith(&par, core.SaveOptions{Workers: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(seq.Bytes(), par.Bytes()) {
+		t.Fatalf("sequential and parallel saves differ: %d vs %d bytes", seq.Len(), par.Len())
+	}
+
+	for _, workers := range []int{1, 8} {
+		loaded, err := core.LoadWith(bytes.NewReader(seq.Bytes()), core.LoadOptions{Workers: workers})
+		if err != nil {
+			t.Fatalf("load with %d workers: %v", workers, err)
+		}
+		d, _ := saveDigest(t, loaded)
+		if want := sha256.Sum256(seq.Bytes()); d != want {
+			t.Errorf("cube loaded with %d workers re-saves differently", workers)
+		}
+	}
+}

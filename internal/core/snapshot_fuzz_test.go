@@ -1,0 +1,57 @@
+package core_test
+
+import (
+	"bytes"
+	"testing"
+
+	"flowcube/internal/core"
+)
+
+// FuzzLoadSnapshot throws arbitrary byte streams at Load. The decoder fronts
+// files from disk and admin-triggered reloads, so whatever the input it must
+// either return an error or a structurally valid cube — never panic, never
+// allocate proportionally to a lying length field. Any cube it does accept
+// must be a save→load fixed point: re-saving and re-loading it reproduces
+// the identical byte stream (the byte-determinism contract of format v2).
+func FuzzLoadSnapshot(f *testing.F) {
+	cube := fixtureCube(f)
+	var v2, v1 bytes.Buffer
+	if err := cube.Save(&v2); err != nil {
+		f.Fatal(err)
+	}
+	if err := cube.SaveV1(&v1); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(v2.Bytes())
+	f.Add(v1.Bytes())
+	f.Add([]byte("FCUBEv2\n"))
+	f.Add([]byte{})
+	// A few hand-mutated prefixes steer the fuzzer toward the section framing.
+	truncated := append([]byte(nil), v2.Bytes()[:v2.Len()/2]...)
+	f.Add(truncated)
+	flipped := append([]byte(nil), v2.Bytes()...)
+	flipped[len(flipped)/2] ^= 0x40
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		loaded, err := core.Load(bytes.NewReader(data))
+		if err != nil {
+			return // rejected without panicking: fine
+		}
+		var first bytes.Buffer
+		if err := loaded.Save(&first); err != nil {
+			t.Fatalf("accepted cube does not save: %v", err)
+		}
+		reloaded, err := core.Load(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("saved copy of accepted cube does not load: %v", err)
+		}
+		var second bytes.Buffer
+		if err := reloaded.Save(&second); err != nil {
+			t.Fatalf("re-save failed: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("save→load→save is not a fixed point: %d vs %d bytes", first.Len(), second.Len())
+		}
+	})
+}

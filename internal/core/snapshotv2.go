@@ -1,0 +1,869 @@
+package core
+
+// Snapshot format v2: a columnar binary cube encoding replacing the v1
+// recursive-DTO gob stream (see DESIGN.md §8). The file is
+//
+//	magic "FCUBEv2\n" (8 bytes)
+//	sections: kind (1 byte) · payload length (uvarint) · payload ·
+//	          CRC-32C of the payload (4 bytes little-endian)
+//	  header      format version, thresholds, section census
+//	  hierarchies location hierarchy plus every item dimension
+//	  plan        materialized dimension levels and path levels
+//	  cuboid ×N   one section per cuboid, cells with flat flowgraphs
+//	  end         empty terminator section
+//
+// Cuboid sections are independent byte ranges, so Save encodes them on
+// Workers goroutines and Load decodes them the same way; both merge results
+// in the deterministic sorted-cuboid-key order the sections are written in,
+// so the output bytes (and the loaded cube) are identical at any worker
+// count. Load sniffs the magic and falls back to the v1 gob decoder, which
+// keeps every previously materialized snapshot loadable.
+//
+// The decoder is hardened against corrupt or adversarial input: section
+// payloads are read in bounded chunks (a lying length fails at read time
+// instead of pre-allocating the claim), every element count inside a
+// section is bounded by the bytes remaining before its column is allocated,
+// and all failures surface as *CorruptSnapshotError.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"runtime"
+	"sync"
+
+	"flowcube/internal/flowgraph"
+	"flowcube/internal/hierarchy"
+	"flowcube/internal/pathdb"
+	"flowcube/internal/transact"
+)
+
+// magicV2 opens every v2 snapshot. The first byte differs from every gob
+// stream a v1 snapshot can start with, so sniffing is unambiguous.
+const magicV2 = "FCUBEv2\n"
+
+// formatVersionV2 is written in the header section; the decoder rejects
+// anything newer than it understands.
+const formatVersionV2 = 2
+
+// Section kinds.
+const (
+	secEnd         = 0
+	secHeader      = 1
+	secHierarchies = 2
+	secPlan        = 3
+	secCuboid      = 4
+)
+
+// maxSectionBytes caps one section's claimed payload length (1 GiB). Real
+// sections are vastly smaller; anything larger is rejected as corrupt
+// before any allocation happens.
+const maxSectionBytes = 1 << 30
+
+var snapshotCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
+// CorruptSnapshotError reports structurally invalid snapshot input: a bad
+// magic or CRC, a truncated section, or a section whose claimed element
+// counts cannot fit the bytes that carry them. It deliberately covers both
+// accidental corruption and adversarial input — Load allocates nothing an
+// attacker-controlled length field can inflate.
+type CorruptSnapshotError struct {
+	// Section names the section being decoded ("header", "plan",
+	// "cuboid 3,2@0", ...) or "frame" for the outer section framing.
+	Section string
+	// Detail describes the violated invariant.
+	Detail string
+}
+
+func (e *CorruptSnapshotError) Error() string {
+	return fmt.Sprintf("core: corrupt snapshot: %s: %s", e.Section, e.Detail)
+}
+
+// byteReader decodes one section payload with bounds checks. Element counts
+// read through count are limited by the bytes remaining at that point:
+// every element of every column costs at least one encoded byte, so an
+// honest count can never exceed rem(), and a dishonest one is rejected
+// before its column is allocated.
+type byteReader struct {
+	section string
+	buf     []byte
+	off     int
+}
+
+func (r *byteReader) corrupt(format string, args ...any) error {
+	return &CorruptSnapshotError{Section: r.section, Detail: fmt.Sprintf(format, args...)}
+}
+
+func (r *byteReader) rem() int { return len(r.buf) - r.off }
+
+func (r *byteReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		return 0, r.corrupt("bad uvarint at offset %d", r.off)
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *byteReader) varint() (int64, error) {
+	v, n := binary.Varint(r.buf[r.off:])
+	if n <= 0 {
+		return 0, r.corrupt("bad varint at offset %d", r.off)
+	}
+	r.off += n
+	return v, nil
+}
+
+// count reads an element count and bounds it by the remaining payload.
+func (r *byteReader) count(what string) (int, error) {
+	v, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > uint64(r.rem()) {
+		return 0, r.corrupt("%s count %d exceeds %d remaining bytes", what, v, r.rem())
+	}
+	return int(v), nil
+}
+
+// intVal reads a non-negative scalar that is NOT an element count — level
+// numbers, indices — so the remaining-bytes bound of count does not apply;
+// only int32 overflow is rejected. Callers validate range themselves.
+func (r *byteReader) intVal(what string) (int, error) {
+	v, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > math.MaxInt32 {
+		return 0, r.corrupt("%s %d overflows int32", what, v)
+	}
+	return int(v), nil
+}
+
+func (r *byteReader) byte() (byte, error) {
+	if r.off >= len(r.buf) {
+		return 0, r.corrupt("truncated at offset %d", r.off)
+	}
+	b := r.buf[r.off]
+	r.off++
+	return b, nil
+}
+
+func (r *byteReader) float64() (float64, error) {
+	if r.rem() < 8 {
+		return 0, r.corrupt("truncated float at offset %d", r.off)
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(r.buf[r.off:]))
+	r.off += 8
+	return v, nil
+}
+
+// int32 reads a non-negative 32-bit value (node and location ids).
+func (r *byteReader) int32() (int32, error) {
+	v, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > math.MaxInt32 {
+		return 0, r.corrupt("id %d overflows int32", v)
+	}
+	return int32(v), nil
+}
+
+// int32Column reads n ids.
+func (r *byteReader) int32Column(n int) ([]int32, error) {
+	out := make([]int32, n)
+	for i := range out {
+		var err error
+		if out[i], err = r.int32(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// varintColumn reads n signed values.
+func (r *byteReader) varintColumn(n int) ([]int64, error) {
+	out := make([]int64, n)
+	for i := range out {
+		var err error
+		if out[i], err = r.varint(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// uvarintColumn reads n non-negative values.
+func (r *byteReader) uvarintColumn(n int, what string) ([]int64, error) {
+	out := make([]int64, n)
+	for i := range out {
+		v, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if v > math.MaxInt64 {
+			return nil, r.corrupt("%s %d overflows int64", what, v)
+		}
+		out[i] = int64(v)
+	}
+	return out, nil
+}
+
+// deltaPool reads a delta-coded outcome pool of the given total length,
+// restarting at each distribution boundary (see appendDeltaPool). Strict
+// monotonicity within each distribution is enforced here, so the
+// Multinomial rebuild cannot see duplicate outcomes.
+func (r *byteReader) deltaPool(total int, bounds []int32) ([]int64, error) {
+	pool := make([]int64, total)
+	for b := 0; b+1 < len(bounds); b++ {
+		lo, hi := bounds[b], bounds[b+1]
+		if lo == hi {
+			continue
+		}
+		first, err := r.varint()
+		if err != nil {
+			return nil, err
+		}
+		pool[lo] = first
+		prev := first
+		for k := lo + 1; k < hi; k++ {
+			gap, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			v := prev + int64(gap)
+			if v <= prev {
+				return nil, r.corrupt("outcome pool not strictly increasing at index %d", k)
+			}
+			pool[k] = v
+			prev = v
+		}
+	}
+	return pool, nil
+}
+
+// string reads a length-prefixed UTF-8 string.
+func (r *byteReader) string(what string) (string, error) {
+	n, err := r.count(what + " length")
+	if err != nil {
+		return "", err
+	}
+	if r.rem() < n {
+		return "", r.corrupt("truncated %s at offset %d", what, r.off)
+	}
+	s := string(r.buf[r.off : r.off+n])
+	r.off += n
+	return s, nil
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// SaveOptions parameterizes SaveWith.
+type SaveOptions struct {
+	// Workers encodes cuboid sections concurrently; 0 or 1 is sequential.
+	// The output bytes are identical at any worker count.
+	Workers int
+}
+
+// Save serializes the materialized cube in snapshot format v2, encoding
+// cuboid sections on Config.Workers goroutines. The path database itself is
+// not saved — a loaded cube answers queries from its flowgraphs but cannot
+// re-mine exceptions. Output is byte-deterministic: cuboids and cells are
+// written in sorted key order and section encoding is worker-count
+// independent.
+func (c *Cube) Save(w io.Writer) error {
+	return c.SaveWith(w, SaveOptions{Workers: c.Config.Workers})
+}
+
+// SaveWith is Save with explicit codec options.
+func (c *Cube) SaveWith(w io.Writer, opts SaveOptions) error {
+	cuboids := c.sortedCuboids()
+
+	var header []byte
+	header = binary.AppendUvarint(header, formatVersionV2)
+	header = binary.AppendVarint(header, c.minCount)
+	header = binary.LittleEndian.AppendUint64(header, math.Float64bits(c.Config.Epsilon))
+	header = binary.LittleEndian.AppendUint64(header, math.Float64bits(c.Config.Tau))
+	header = binary.AppendUvarint(header, uint64(len(c.Schema.Dims)))
+	header = binary.AppendUvarint(header, uint64(len(c.Symbols.PathLevels())))
+	header = binary.AppendUvarint(header, uint64(len(cuboids)))
+
+	var hiers []byte
+	hiers = appendHierarchyV2(hiers, c.Schema.Location)
+	for _, h := range c.Schema.Dims {
+		hiers = appendHierarchyV2(hiers, h)
+	}
+
+	var plan []byte
+	dimLevels := c.Symbols.DimLevels()
+	plan = binary.AppendUvarint(plan, uint64(len(dimLevels)))
+	for _, levels := range dimLevels {
+		plan = binary.AppendUvarint(plan, uint64(len(levels)))
+		for _, l := range levels {
+			plan = binary.AppendUvarint(plan, uint64(l))
+		}
+	}
+	pathLevels := c.Symbols.PathLevels()
+	plan = binary.AppendUvarint(plan, uint64(len(pathLevels)))
+	for _, pl := range pathLevels {
+		nodes := pl.Cut.Nodes()
+		plan = binary.AppendUvarint(plan, uint64(len(nodes)))
+		for _, nd := range nodes {
+			plan = binary.AppendUvarint(plan, uint64(uint32(nd)))
+		}
+		if pl.Time.Any {
+			plan = append(plan, 1)
+		} else {
+			plan = append(plan, 0)
+		}
+		plan = binary.AppendVarint(plan, pl.Time.Grain)
+	}
+
+	sections := encodeCuboidsV2(cuboids, opts.Workers)
+
+	if _, err := io.WriteString(w, magicV2); err != nil {
+		return err
+	}
+	if err := writeSection(w, secHeader, header); err != nil {
+		return err
+	}
+	if err := writeSection(w, secHierarchies, hiers); err != nil {
+		return err
+	}
+	if err := writeSection(w, secPlan, plan); err != nil {
+		return err
+	}
+	for _, payload := range sections {
+		if err := writeSection(w, secCuboid, payload); err != nil {
+			return err
+		}
+	}
+	return writeSection(w, secEnd, nil)
+}
+
+// encodeCuboidsV2 encodes every cuboid section, spreading the work over
+// workers goroutines. Results come back indexed by cuboid position, so the
+// caller writes them in the same deterministic order at any worker count.
+func encodeCuboidsV2(cuboids []*Cuboid, workers int) [][]byte {
+	payloads := make([][]byte, len(cuboids))
+	if workers > len(cuboids) {
+		workers = len(cuboids)
+	}
+	if workers <= 1 {
+		for i, cb := range cuboids {
+			payloads[i] = encodeCuboidV2(cb)
+		}
+		return payloads
+	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				payloads[i] = encodeCuboidV2(cuboids[i])
+			}
+		}()
+	}
+	for i := range cuboids {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	return payloads
+}
+
+// encodeCuboidV2 encodes one cuboid section payload: the spec, then every
+// cell in sorted key order with its flat flowgraph.
+func encodeCuboidV2(cb *Cuboid) []byte {
+	var buf []byte
+	buf = binary.AppendUvarint(buf, uint64(len(cb.Spec.Item)))
+	for _, l := range cb.Spec.Item {
+		buf = binary.AppendUvarint(buf, uint64(l))
+	}
+	buf = binary.AppendUvarint(buf, uint64(cb.Spec.PathLevel))
+	cells := cb.SortedCells()
+	buf = binary.AppendUvarint(buf, uint64(len(cells)))
+	for _, cell := range cells {
+		buf = binary.AppendUvarint(buf, uint64(len(cell.Values)))
+		for _, v := range cell.Values {
+			buf = binary.AppendUvarint(buf, uint64(uint32(v)))
+		}
+		buf = binary.AppendVarint(buf, cell.Count)
+		var flags byte
+		if cell.Redundant {
+			flags |= 1
+		}
+		if cell.Graph != nil {
+			flags |= 2
+		}
+		buf = append(buf, flags)
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(cell.Similarity))
+		if cell.Graph != nil {
+			buf = appendFlatGraph(buf, flowgraph.Flatten(cell.Graph))
+		}
+	}
+	return buf
+}
+
+// appendHierarchyV2 encodes one hierarchy: dimension name, then nodes 1..n
+// (the root is implicit) as names followed by parent ids.
+func appendHierarchyV2(buf []byte, h *hierarchy.Hierarchy) []byte {
+	buf = appendString(buf, h.Dimension())
+	n := h.Len() - 1
+	buf = binary.AppendUvarint(buf, uint64(n))
+	for id := hierarchy.NodeID(1); int(id) <= n; id++ {
+		buf = appendString(buf, h.Name(id))
+	}
+	for id := hierarchy.NodeID(1); int(id) <= n; id++ {
+		buf = binary.AppendUvarint(buf, uint64(uint32(h.Parent(id))))
+	}
+	return buf
+}
+
+// writeSection frames one section: kind, payload length, payload, CRC-32C.
+func writeSection(w io.Writer, kind byte, payload []byte) error {
+	hdr := make([]byte, 0, 1+binary.MaxVarintLen64)
+	hdr = append(hdr, kind)
+	hdr = binary.AppendUvarint(hdr, uint64(len(payload)))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(payload, snapshotCRCTable))
+	_, err := w.Write(crc[:])
+	return err
+}
+
+// LoadOptions parameterizes LoadWith.
+type LoadOptions struct {
+	// Workers decodes cuboid sections concurrently; 0 means GOMAXPROCS,
+	// 1 is sequential. The loaded cube is identical at any worker count.
+	Workers int
+}
+
+// Load reconstructs a cube saved with Save. The result supports Cell,
+// QueryGraph, MarkRedundancy and Compress; Mining statistics and the
+// ability to re-mine exceptions are gone with the path database. Both
+// snapshot formats load: the leading magic selects the v2 columnar decoder
+// or the legacy v1 gob decoder.
+func Load(r io.Reader) (*Cube, error) {
+	return LoadWith(r, LoadOptions{})
+}
+
+// LoadWith is Load with explicit codec options.
+func LoadWith(r io.Reader, opts LoadOptions) (*Cube, error) {
+	br := bufio.NewReader(r)
+	magic, err := br.Peek(len(magicV2))
+	if err == nil && string(magic) == magicV2 {
+		return loadV2(br, opts)
+	}
+	// Not a v2 snapshot (or shorter than the magic): the v1 gob decoder
+	// owns the error message either way.
+	return loadV1(br)
+}
+
+// sectionPayload reads one framed section, bounding the claimed length and
+// verifying the CRC. Payload bytes are read in chunks so a lying length
+// fails with a truncation error instead of one huge allocation.
+func sectionPayload(br *bufio.Reader) (kind byte, payload []byte, err error) {
+	frame := &byteReader{section: "frame"}
+	kind, err = br.ReadByte()
+	if err != nil {
+		return 0, nil, frame.corrupt("missing section kind: %v", err)
+	}
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return 0, nil, frame.corrupt("bad section length: %v", err)
+	}
+	if n > maxSectionBytes {
+		return 0, nil, frame.corrupt("section length %d exceeds the %d byte cap", n, maxSectionBytes)
+	}
+	const chunk = 1 << 20
+	payload = make([]byte, 0, min(int(n), chunk))
+	for len(payload) < int(n) {
+		step := min(int(n)-len(payload), chunk)
+		start := len(payload)
+		payload = append(payload, make([]byte, step)...)
+		if _, err := io.ReadFull(br, payload[start:]); err != nil {
+			return 0, nil, frame.corrupt("truncated section payload: %v", err)
+		}
+	}
+	var crc [4]byte
+	if _, err := io.ReadFull(br, crc[:]); err != nil {
+		return 0, nil, frame.corrupt("missing section checksum: %v", err)
+	}
+	if got, want := crc32.Checksum(payload, snapshotCRCTable), binary.LittleEndian.Uint32(crc[:]); got != want {
+		return 0, nil, frame.corrupt("section checksum mismatch (got %08x, want %08x)", got, want)
+	}
+	return kind, payload, nil
+}
+
+// loadV2 decodes a v2 snapshot from br, positioned at the magic.
+func loadV2(br *bufio.Reader, opts LoadOptions) (*Cube, error) {
+	if _, err := br.Discard(len(magicV2)); err != nil {
+		return nil, err
+	}
+
+	// Header.
+	kind, payload, err := sectionPayload(br)
+	if err != nil {
+		return nil, err
+	}
+	hr := &byteReader{section: "header", buf: payload}
+	if kind != secHeader {
+		return nil, hr.corrupt("first section has kind %d, want header", kind)
+	}
+	version, err := hr.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if version != formatVersionV2 {
+		return nil, hr.corrupt("format version %d not supported (have %d)", version, formatVersionV2)
+	}
+	minCount, err := hr.varint()
+	if err != nil {
+		return nil, err
+	}
+	epsilon, err := hr.float64()
+	if err != nil {
+		return nil, err
+	}
+	tau, err := hr.float64()
+	if err != nil {
+		return nil, err
+	}
+	// Header counts are a census of *other* sections, so the byteReader's
+	// remaining-bytes bound does not apply here; each is re-bounded against
+	// the section that actually carries the elements before anything is
+	// allocated from it.
+	numDims64, err := hr.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	numPathLevels64, err := hr.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	numCuboids, err := hr.uvarint()
+	if err != nil {
+		return nil, err
+	}
+
+	// Hierarchies.
+	kind, payload, err = sectionPayload(br)
+	if err != nil {
+		return nil, err
+	}
+	gr := &byteReader{section: "hierarchies", buf: payload}
+	if kind != secHierarchies {
+		return nil, gr.corrupt("second section has kind %d, want hierarchies", kind)
+	}
+	// Every hierarchy costs at least one byte in this section, so the
+	// header's dimension census cannot honestly exceed its payload.
+	if numDims64 > uint64(len(payload)) {
+		return nil, gr.corrupt("dimension count %d exceeds the %d-byte hierarchies section", numDims64, len(payload))
+	}
+	numDims := int(numDims64)
+	location, err := decodeHierarchyV2(gr)
+	if err != nil {
+		return nil, err
+	}
+	dims := make([]*hierarchy.Hierarchy, numDims)
+	for i := range dims {
+		if dims[i], err = decodeHierarchyV2(gr); err != nil {
+			return nil, err
+		}
+	}
+	schema, err := pathdb.NewSchema(location, dims...)
+	if err != nil {
+		return nil, err
+	}
+
+	// Plan.
+	kind, payload, err = sectionPayload(br)
+	if err != nil {
+		return nil, err
+	}
+	pr := &byteReader{section: "plan", buf: payload}
+	if kind != secPlan {
+		return nil, pr.corrupt("third section has kind %d, want plan", kind)
+	}
+	nd, err := pr.count("plan dimension")
+	if err != nil {
+		return nil, err
+	}
+	if nd != numDims {
+		return nil, pr.corrupt("plan lists %d dimensions, header %d", nd, numDims)
+	}
+	dimLevels := make([][]int, nd)
+	for d := range dimLevels {
+		nl, err := pr.count("dimension level")
+		if err != nil {
+			return nil, err
+		}
+		dimLevels[d] = make([]int, nl)
+		for i := range dimLevels[d] {
+			l, err := pr.intVal("level")
+			if err != nil {
+				return nil, err
+			}
+			dimLevels[d][i] = l
+		}
+	}
+	npl, err := pr.count("plan path level")
+	if err != nil {
+		return nil, err
+	}
+	if uint64(npl) != numPathLevels64 {
+		return nil, pr.corrupt("plan lists %d path levels, header %d", npl, numPathLevels64)
+	}
+	levels := make([]pathdb.PathLevel, npl)
+	for i := range levels {
+		nn, err := pr.count("cut node")
+		if err != nil {
+			return nil, err
+		}
+		nodes := make([]hierarchy.NodeID, nn)
+		for j := range nodes {
+			id, err := pr.int32()
+			if err != nil {
+				return nil, err
+			}
+			nodes[j] = hierarchy.NodeID(id)
+		}
+		cut, err := hierarchy.NewCut(location, nodes)
+		if err != nil {
+			return nil, err
+		}
+		anyB, err := pr.byte()
+		if err != nil {
+			return nil, err
+		}
+		grain, err := pr.varint()
+		if err != nil {
+			return nil, err
+		}
+		levels[i] = pathdb.PathLevel{Cut: cut, Time: pathdb.TimeLevel{Grain: grain, Any: anyB != 0}}
+	}
+	plan := transact.Plan{DimLevels: dimLevels, PathLevels: levels}
+	syms, err := transact.NewSymbols(schema, plan)
+	if err != nil {
+		return nil, err
+	}
+
+	// Cuboid sections: collect payloads, then decode them on workers.
+	var cuboidPayloads [][]byte
+	for {
+		kind, payload, err = sectionPayload(br)
+		if err != nil {
+			return nil, err
+		}
+		if kind == secEnd {
+			break
+		}
+		if kind != secCuboid {
+			return nil, (&byteReader{section: "frame"}).corrupt("unknown section kind %d", kind)
+		}
+		if uint64(len(cuboidPayloads)) >= numCuboids {
+			return nil, (&byteReader{section: "frame"}).corrupt(
+				"more cuboid sections than the header's %d", numCuboids)
+		}
+		cuboidPayloads = append(cuboidPayloads, payload)
+	}
+	if uint64(len(cuboidPayloads)) != numCuboids {
+		return nil, (&byteReader{section: "frame"}).corrupt(
+			"%d cuboid sections, header promised %d", len(cuboidPayloads), numCuboids)
+	}
+
+	cuboids, err := decodeCuboidsV2(cuboidPayloads, location, levels, opts.Workers)
+	if err != nil {
+		return nil, err
+	}
+
+	cube := &Cube{
+		Schema:   schema,
+		Config:   Config{MinCount: minCount, Epsilon: epsilon, Tau: tau, Plan: plan},
+		Symbols:  syms,
+		Cuboids:  make(map[string]*Cuboid, len(cuboids)),
+		minCount: minCount,
+	}
+	for _, cb := range cuboids {
+		if err := validateSpec(cb.Spec, syms, schema); err != nil {
+			return nil, err
+		}
+		if _, dup := cube.Cuboids[cb.Spec.Key()]; dup {
+			return nil, (&byteReader{section: "frame"}).corrupt("duplicate cuboid %s", cb.Spec.Key())
+		}
+		cube.Cuboids[cb.Spec.Key()] = cb
+	}
+	return cube, nil
+}
+
+// decodeCuboidsV2 decodes every cuboid section payload, spreading the work
+// over workers goroutines (0 = GOMAXPROCS). Results are positional, so the
+// assembled cube is identical at any worker count.
+func decodeCuboidsV2(payloads [][]byte, loc *hierarchy.Hierarchy, levels []pathdb.PathLevel, workers int) ([]*Cuboid, error) {
+	out := make([]*Cuboid, len(payloads))
+	errs := make([]error, len(payloads))
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(payloads) {
+		workers = len(payloads)
+	}
+	if workers <= 1 {
+		for i, p := range payloads {
+			out[i], errs[i] = decodeCuboidV2(p, loc, levels)
+		}
+	} else {
+		var wg sync.WaitGroup
+		work := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range work {
+					out[i], errs[i] = decodeCuboidV2(payloads[i], loc, levels)
+				}
+			}()
+		}
+		for i := range payloads {
+			work <- i
+		}
+		close(work)
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// decodeCuboidV2 decodes one cuboid section payload.
+func decodeCuboidV2(payload []byte, loc *hierarchy.Hierarchy, levels []pathdb.PathLevel) (*Cuboid, error) {
+	r := &byteReader{section: "cuboid", buf: payload}
+	ni, err := r.count("item level")
+	if err != nil {
+		return nil, err
+	}
+	item := make(ItemLevel, ni)
+	for i := range item {
+		l, err := r.intVal("item level value")
+		if err != nil {
+			return nil, err
+		}
+		item[i] = l
+	}
+	pl, err := r.intVal("path level")
+	if err != nil {
+		return nil, err
+	}
+	if pl >= len(levels) {
+		return nil, r.corrupt("path level %d out of range (%d levels)", pl, len(levels))
+	}
+	spec := CuboidSpec{Item: item, PathLevel: pl}
+	r.section = "cuboid " + spec.Key()
+	numCells, err := r.count("cell")
+	if err != nil {
+		return nil, err
+	}
+	cb := &Cuboid{Spec: spec, Cells: make(map[string]*Cell, numCells)}
+	for ci := 0; ci < numCells; ci++ {
+		nv, err := r.count("cell value")
+		if err != nil {
+			return nil, err
+		}
+		values := make([]hierarchy.NodeID, nv)
+		for i := range values {
+			id, err := r.int32()
+			if err != nil {
+				return nil, err
+			}
+			values[i] = hierarchy.NodeID(id)
+		}
+		count, err := r.varint()
+		if err != nil {
+			return nil, err
+		}
+		flags, err := r.byte()
+		if err != nil {
+			return nil, err
+		}
+		similarity, err := r.float64()
+		if err != nil {
+			return nil, err
+		}
+		cell := &Cell{
+			Values:     values,
+			Count:      count,
+			Redundant:  flags&1 != 0,
+			Similarity: similarity,
+		}
+		if flags&2 != 0 {
+			flat, err := decodeFlatGraph(r)
+			if err != nil {
+				return nil, err
+			}
+			g, err := flowgraph.Unflatten(loc, levels[pl], flat)
+			if err != nil {
+				return nil, r.corrupt("cell %d: %v", ci, err)
+			}
+			cell.Graph = g
+		}
+		key := cellKey(values)
+		if _, dup := cb.Cells[key]; dup {
+			return nil, r.corrupt("duplicate cell %s", key)
+		}
+		cb.Cells[key] = cell
+	}
+	if r.rem() != 0 {
+		return nil, r.corrupt("%d trailing bytes", r.rem())
+	}
+	return cb, nil
+}
+
+// decodeHierarchyV2 reads one hierarchy written by appendHierarchyV2.
+func decodeHierarchyV2(r *byteReader) (*hierarchy.Hierarchy, error) {
+	dim, err := r.string("dimension name")
+	if err != nil {
+		return nil, err
+	}
+	n, err := r.count("hierarchy node")
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, n)
+	for i := range names {
+		if names[i], err = r.string("concept name"); err != nil {
+			return nil, err
+		}
+	}
+	h := hierarchy.New(dim)
+	for _, name := range names {
+		p, err := r.int32()
+		if err != nil {
+			return nil, err
+		}
+		if int(p) >= h.Len() {
+			return nil, r.corrupt("hierarchy %q: node %q references later parent %d", dim, name, p)
+		}
+		if _, err := h.Add(h.Name(hierarchy.NodeID(p)), name); err != nil {
+			return nil, r.corrupt("hierarchy %q: %v", dim, err)
+		}
+	}
+	return h, nil
+}

@@ -1,0 +1,281 @@
+package flowgraph
+
+// Columnar (struct-of-arrays) form of a flowgraph, the layout the v2
+// snapshot codec serializes. Flatten walks the prefix tree breadth-first —
+// children sorted by location, exactly the order Children() reports — so
+// every node's children occupy one contiguous index range and a single
+// sentinel ChildLo slice describes the whole tree shape, mirroring
+// itemset.flatTrie. All duration and transition distributions are pooled
+// into one shared Outcomes/Weights pair with per-node offsets; exceptions
+// and their condition pins are flat tables of the same style. Unflatten
+// validates the invariants and rebuilds the pointer tree by carving nodes,
+// distributions, pins and exceptions out of single backing allocations.
+
+import (
+	"fmt"
+
+	"flowcube/internal/hierarchy"
+	"flowcube/internal/pathdb"
+	"flowcube/internal/stats"
+)
+
+// Flat is a flowgraph in columnar form. Node 0 is the virtual root (its
+// Locations entry is hierarchy.Root and its Counts entry 0); the remaining
+// nodes follow in BFS order with children sorted by location id.
+type Flat struct {
+	// Paths is Graph.Paths().
+	Paths int64
+
+	// Locations and Counts are per-node columns; ChildLo has one extra
+	// sentinel entry, so node i's children are the index range
+	// [ChildLo[i], ChildLo[i+1]).
+	Locations []int32
+	Counts    []int64
+	ChildLo   []int32
+
+	// DurLo and TrLo index the pooled distribution columns: node i's
+	// duration distribution is Outcomes[DurLo[i]:TrLo[i]] with parallel
+	// Weights, and its transition distribution Outcomes[TrLo[i]:DurLo[i+1]].
+	// DurLo carries the sentinel (len(Locations)+1 entries).
+	DurLo    []int32
+	TrLo     []int32
+	Outcomes []int64
+	Weights  []int64
+
+	// Exceptions as flat tables: exception j deviates at node ExcNode[j],
+	// its condition pins are the range [ExcPinLo[j], ExcPinLo[j+1]) of the
+	// Pin* columns, and its conditional distributions live in the pooled
+	// ExcOutcomes/ExcWeights columns addressed like the node ones.
+	ExcNode     []int32
+	ExcSupport  []int64
+	ExcDurDev   []float64
+	ExcTrDev    []float64
+	ExcPinLo    []int32
+	PinDepth    []int32
+	PinLoc      []int32
+	PinDur      []int64
+	PinDurAny   []bool
+	ExcDurLo    []int32
+	ExcTrLo     []int32
+	ExcOutcomes []int64
+	ExcWeights  []int64
+}
+
+// NumNodes reports the node count including the virtual root.
+func (f *Flat) NumNodes() int { return len(f.Locations) }
+
+// Flatten converts the graph to columnar form.
+func Flatten(g *Graph) *Flat {
+	f := &Flat{Paths: g.paths}
+	order := []*Node{g.root}
+	index := map[*Node]int32{g.root: 0}
+	for i := 0; i < len(order); i++ {
+		for _, c := range order[i].Children() {
+			index[c] = int32(len(order))
+			order = append(order, c)
+		}
+	}
+	n := len(order)
+	f.Locations = make([]int32, n)
+	f.Counts = make([]int64, n)
+	f.ChildLo = make([]int32, n+1)
+	f.DurLo = make([]int32, n+1)
+	f.TrLo = make([]int32, n)
+	next := int32(1)
+	for i, node := range order {
+		f.Locations[i] = int32(node.Location)
+		f.Counts[i] = node.Count
+		f.ChildLo[i] = next
+		next += int32(len(node.children))
+		f.DurLo[i] = int32(len(f.Outcomes))
+		f.Outcomes, f.Weights = node.Durations.AppendSorted(f.Outcomes, f.Weights)
+		f.TrLo[i] = int32(len(f.Outcomes))
+		f.Outcomes, f.Weights = node.Transitions.AppendSorted(f.Outcomes, f.Weights)
+	}
+	f.ChildLo[n] = next
+	f.DurLo[n] = int32(len(f.Outcomes))
+
+	for _, x := range g.exceptions {
+		f.ExcNode = append(f.ExcNode, index[x.Node])
+		f.ExcSupport = append(f.ExcSupport, x.Support)
+		f.ExcDurDev = append(f.ExcDurDev, x.DurationDeviation)
+		f.ExcTrDev = append(f.ExcTrDev, x.TransitionDeviation)
+		f.ExcPinLo = append(f.ExcPinLo, int32(len(f.PinDepth)))
+		for _, p := range x.Condition {
+			f.PinDepth = append(f.PinDepth, int32(p.Depth))
+			f.PinLoc = append(f.PinLoc, int32(p.Location))
+			f.PinDur = append(f.PinDur, p.Duration)
+			f.PinDurAny = append(f.PinDurAny, p.DurAny)
+		}
+		f.ExcDurLo = append(f.ExcDurLo, int32(len(f.ExcOutcomes)))
+		f.ExcOutcomes, f.ExcWeights = x.Durations.AppendSorted(f.ExcOutcomes, f.ExcWeights)
+		f.ExcTrLo = append(f.ExcTrLo, int32(len(f.ExcOutcomes)))
+		f.ExcOutcomes, f.ExcWeights = x.Transitions.AppendSorted(f.ExcOutcomes, f.ExcWeights)
+	}
+	f.ExcPinLo = append(f.ExcPinLo, int32(len(f.PinDepth)))
+	f.ExcDurLo = append(f.ExcDurLo, int32(len(f.ExcOutcomes)))
+	return f
+}
+
+// validate checks every structural invariant of the columnar form before
+// Unflatten allocates anything proportional to the claimed sizes beyond the
+// columns themselves (which the snapshot decoder already bounded against
+// the input length).
+func (f *Flat) validate() error {
+	n := len(f.Locations)
+	if n < 1 {
+		return fmt.Errorf("flowgraph: flat graph has no root node")
+	}
+	if len(f.Counts) != n || len(f.ChildLo) != n+1 || len(f.DurLo) != n+1 || len(f.TrLo) != n {
+		return fmt.Errorf("flowgraph: flat node columns have inconsistent lengths")
+	}
+	if len(f.Outcomes) != len(f.Weights) {
+		return fmt.Errorf("flowgraph: flat outcome/weight columns differ in length")
+	}
+	if f.ChildLo[0] != 1 || f.ChildLo[n] != int32(n) {
+		return fmt.Errorf("flowgraph: flat child ranges do not cover the node set")
+	}
+	for i := 0; i < n; i++ {
+		// BFS order: children of node i form a contiguous range strictly
+		// after i. Monotone ranges with these bounds partition [1, n), so
+		// every non-root node has exactly one parent and cycles are
+		// impossible.
+		if f.ChildLo[i] < int32(i)+1 || f.ChildLo[i+1] < f.ChildLo[i] {
+			return fmt.Errorf("flowgraph: flat child range of node %d is malformed", i)
+		}
+		if f.DurLo[i] > f.TrLo[i] || f.TrLo[i] > f.DurLo[i+1] {
+			return fmt.Errorf("flowgraph: flat distribution range of node %d is malformed", i)
+		}
+		if f.Counts[i] < 0 {
+			return fmt.Errorf("flowgraph: flat node %d has negative count", i)
+		}
+	}
+	if f.DurLo[0] != 0 || f.DurLo[n] != int32(len(f.Outcomes)) {
+		return fmt.Errorf("flowgraph: flat distribution ranges do not cover the outcome pool")
+	}
+	m := len(f.ExcNode)
+	if m == 0 && len(f.PinDepth) == 0 && len(f.ExcOutcomes) == 0 && len(f.ExcPinLo) == 0 &&
+		len(f.ExcSupport) == 0 && len(f.ExcDurDev) == 0 && len(f.ExcTrDev) == 0 &&
+		len(f.ExcDurLo) == 0 && len(f.ExcTrLo) == 0 && len(f.PinLoc) == 0 &&
+		len(f.PinDur) == 0 && len(f.PinDurAny) == 0 && len(f.ExcWeights) == 0 {
+		// Exception-free graphs may omit the sentinel columns entirely (the
+		// snapshot decoder leaves them nil).
+		return nil
+	}
+	if len(f.ExcSupport) != m || len(f.ExcDurDev) != m || len(f.ExcTrDev) != m ||
+		len(f.ExcPinLo) != m+1 || len(f.ExcDurLo) != m+1 || len(f.ExcTrLo) != m {
+		return fmt.Errorf("flowgraph: flat exception columns have inconsistent lengths")
+	}
+	p := len(f.PinDepth)
+	if len(f.PinLoc) != p || len(f.PinDur) != p || len(f.PinDurAny) != p {
+		return fmt.Errorf("flowgraph: flat pin columns have inconsistent lengths")
+	}
+	if len(f.ExcOutcomes) != len(f.ExcWeights) {
+		return fmt.Errorf("flowgraph: flat exception outcome/weight columns differ in length")
+	}
+	if m > 0 || p > 0 || len(f.ExcOutcomes) > 0 {
+		if len(f.ExcPinLo) == 0 || f.ExcPinLo[0] != 0 || f.ExcPinLo[m] != int32(p) {
+			return fmt.Errorf("flowgraph: flat pin ranges do not cover the pin pool")
+		}
+		if f.ExcDurLo[0] != 0 || f.ExcDurLo[m] != int32(len(f.ExcOutcomes)) {
+			return fmt.Errorf("flowgraph: flat exception distribution ranges do not cover the pool")
+		}
+	}
+	for j := 0; j < m; j++ {
+		if f.ExcNode[j] < 0 || int(f.ExcNode[j]) >= n {
+			return fmt.Errorf("flowgraph: exception %d references node %d of %d", j, f.ExcNode[j], n)
+		}
+		if f.ExcPinLo[j+1] < f.ExcPinLo[j] {
+			return fmt.Errorf("flowgraph: flat pin range of exception %d is malformed", j)
+		}
+		if f.ExcDurLo[j] > f.ExcTrLo[j] || f.ExcTrLo[j] > f.ExcDurLo[j+1] {
+			return fmt.Errorf("flowgraph: flat distribution range of exception %d is malformed", j)
+		}
+	}
+	return nil
+}
+
+// Unflatten validates the columnar form and rebuilds the pointer graph for
+// paths at the given level. Nodes, distributions, pins and exceptions are
+// carved out of one backing allocation each, so reconstructing a graph
+// costs O(1) amortized allocations per node-free structure plus the
+// per-node children maps — far cheaper than replaying Graft per node.
+func Unflatten(loc *hierarchy.Hierarchy, level pathdb.PathLevel, f *Flat) (*Graph, error) {
+	if err := f.validate(); err != nil {
+		return nil, err
+	}
+	n := f.NumNodes()
+	m := len(f.ExcNode)
+	nodes := make([]Node, n)
+	dists := make([]stats.Multinomial, 2*(n+m))
+	initDist := func(k int, lo, hi int32) (*stats.Multinomial, error) {
+		d := &dists[k]
+		if err := d.InitSorted(f.Outcomes[lo:hi], f.Weights[lo:hi]); err != nil {
+			return nil, err
+		}
+		return d, nil
+	}
+	var err error
+	for i := 0; i < n; i++ {
+		nd := &nodes[i]
+		if f.Locations[i] < 0 || int(f.Locations[i]) >= loc.Len() {
+			return nil, fmt.Errorf("flowgraph: node %d location %d outside hierarchy of %d nodes",
+				i, f.Locations[i], loc.Len())
+		}
+		nd.Location = hierarchy.NodeID(f.Locations[i])
+		nd.Count = f.Counts[i]
+		if nd.Durations, err = initDist(2*i, f.DurLo[i], f.TrLo[i]); err != nil {
+			return nil, err
+		}
+		if nd.Transitions, err = initDist(2*i+1, f.TrLo[i], f.DurLo[i+1]); err != nil {
+			return nil, err
+		}
+		lo, hi := f.ChildLo[i], f.ChildLo[i+1]
+		nd.children = make(map[hierarchy.NodeID]*Node, hi-lo)
+		for j := lo; j < hi; j++ {
+			child := &nodes[j]
+			child.parent = nd
+			child.Depth = nd.Depth + 1
+			nd.children[hierarchy.NodeID(f.Locations[j])] = child
+		}
+		if len(nd.children) != int(hi-lo) {
+			return nil, fmt.Errorf("flowgraph: node %d has duplicate child locations", i)
+		}
+	}
+	g := &Graph{level: level, loc: loc, root: &nodes[0], paths: f.Paths}
+
+	if m > 0 {
+		pins := make([]StagePin, len(f.PinDepth))
+		for i := range pins {
+			pins[i] = StagePin{
+				Depth:    int(f.PinDepth[i]),
+				Location: hierarchy.NodeID(f.PinLoc[i]),
+				Duration: f.PinDur[i],
+				DurAny:   f.PinDurAny[i],
+			}
+		}
+		excDist := func(k int, lo, hi int32) (*stats.Multinomial, error) {
+			d := &dists[k]
+			if err := d.InitSorted(f.ExcOutcomes[lo:hi], f.ExcWeights[lo:hi]); err != nil {
+				return nil, err
+			}
+			return d, nil
+		}
+		g.exceptions = make([]Exception, m)
+		for j := 0; j < m; j++ {
+			x := &g.exceptions[j]
+			x.Node = &nodes[f.ExcNode[j]]
+			x.Condition = pins[f.ExcPinLo[j]:f.ExcPinLo[j+1]:f.ExcPinLo[j+1]]
+			x.Support = f.ExcSupport[j]
+			x.DurationDeviation = f.ExcDurDev[j]
+			x.TransitionDeviation = f.ExcTrDev[j]
+			if x.Durations, err = excDist(2*(n+j), f.ExcDurLo[j], f.ExcTrLo[j]); err != nil {
+				return nil, err
+			}
+			if x.Transitions, err = excDist(2*(n+j)+1, f.ExcTrLo[j], f.ExcDurLo[j+1]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return g, nil
+}

@@ -1,0 +1,112 @@
+package flowgraph_test
+
+import (
+	"reflect"
+	"testing"
+
+	"flowcube/internal/flowgraph"
+	"flowcube/internal/paperex"
+)
+
+// flattenFixture builds the full Table-1 graph with mined exceptions and
+// returns it alongside its columnar form.
+func flattenFixture(t *testing.T) (*paperex.Example, *flowgraph.Graph, *flowgraph.Flat) {
+	t.Helper()
+	ex := paperex.New()
+	paths := basePaths(ex)
+	g := flowgraph.Build(ex.Location, ex.BasePathLevel(), paths, nil)
+	g.MineExceptions(paths, 0.1, 2)
+	if len(g.Exceptions()) == 0 {
+		t.Fatal("fixture mined no exceptions")
+	}
+	return ex, g, flowgraph.Flatten(g)
+}
+
+func TestFlattenUnflattenRoundTrip(t *testing.T) {
+	ex, g, f := flattenFixture(t)
+	g2, err := flowgraph.Unflatten(ex.Location, ex.BasePathLevel(), f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Paths() != g.Paths() {
+		t.Errorf("paths: %d vs %d", g2.Paths(), g.Paths())
+	}
+	if d := flowgraph.Divergence(g, g2) + flowgraph.Divergence(g2, g); d > 1e-12 {
+		t.Errorf("round-tripped graph diverges by %g", d)
+	}
+	ox, lx := g.Exceptions(), g2.Exceptions()
+	if len(ox) != len(lx) {
+		t.Fatalf("exceptions: %d vs %d", len(lx), len(ox))
+	}
+	for i := range ox {
+		if ox[i].Support != lx[i].Support ||
+			len(ox[i].Condition) != len(lx[i].Condition) ||
+			ox[i].Node.Depth != lx[i].Node.Depth ||
+			ox[i].Node.Location != lx[i].Node.Location {
+			t.Errorf("exception %d mismatch after round trip", i)
+		}
+	}
+	// Re-flattening the reconstruction reproduces the exact columns:
+	// Flatten orders nodes deterministically, so this pins both directions.
+	if f2 := flowgraph.Flatten(g2); !reflect.DeepEqual(f, f2) {
+		t.Error("re-flattened columns differ from the original flattening")
+	}
+}
+
+func TestFlattenUnflattenNoExceptions(t *testing.T) {
+	ex := paperex.New()
+	g := flowgraph.Build(ex.Location, ex.BasePathLevel(), basePaths(ex), nil)
+	f := flowgraph.Flatten(g)
+	if len(f.ExcNode) != 0 || len(f.ExcPinLo) != 1 || len(f.ExcDurLo) != 1 {
+		t.Fatalf("unexpected exception columns: %d nodes, %d/%d sentinels",
+			len(f.ExcNode), len(f.ExcPinLo), len(f.ExcDurLo))
+	}
+	g2, err := flowgraph.Unflatten(ex.Location, ex.BasePathLevel(), f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := flowgraph.Divergence(g, g2) + flowgraph.Divergence(g2, g); d > 1e-12 {
+		t.Errorf("round-tripped graph diverges by %g", d)
+	}
+}
+
+// TestUnflattenRejectsInvalid feeds Unflatten structurally corrupt columns
+// and expects an error for each — this is the validation layer the snapshot
+// decoder leans on after its own bounds checks pass.
+func TestUnflattenRejectsInvalid(t *testing.T) {
+	cases := []struct {
+		name    string
+		corrupt func(f *flowgraph.Flat)
+	}{
+		{"child range before self", func(f *flowgraph.Flat) { f.ChildLo[1] = 0 }},
+		{"child range decreasing", func(f *flowgraph.Flat) {
+			f.ChildLo[2] = f.ChildLo[1] - 1
+		}},
+		{"last child range open", func(f *flowgraph.Flat) {
+			f.ChildLo[len(f.ChildLo)-1]--
+		}},
+		{"negative count", func(f *flowgraph.Flat) { f.Counts[1] = -1 }},
+		{"duration offsets cross", func(f *flowgraph.Flat) { f.TrLo[0] = f.DurLo[1] + 1 }},
+		{"outcomes not increasing", func(f *flowgraph.Flat) {
+			// Node 1 (the factory) has two duration outcomes; make them equal.
+			f.Outcomes[f.DurLo[1]+1] = f.Outcomes[f.DurLo[1]]
+		}},
+		{"exception node out of range", func(f *flowgraph.Flat) {
+			f.ExcNode[0] = int32(f.NumNodes())
+		}},
+		{"exception pins unsorted", func(f *flowgraph.Flat) {
+			f.ExcPinLo[1] = f.ExcPinLo[0] - 1
+		}},
+		{"location out of hierarchy", func(f *flowgraph.Flat) { f.Locations[1] = 1 << 20 }},
+		{"truncated columns", func(f *flowgraph.Flat) { f.Counts = f.Counts[:1] }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ex, _, f := flattenFixture(t)
+			tc.corrupt(f)
+			if _, err := flowgraph.Unflatten(ex.Location, ex.BasePathLevel(), f); err == nil {
+				t.Error("corrupt flat graph accepted")
+			}
+		})
+	}
+}

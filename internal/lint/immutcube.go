@@ -17,8 +17,9 @@ import (
 //
 // The designated files are the build phase and the documented mutating
 // operations: build.go (Build, populate, exception mining), append.go
-// (incremental Append), persist.go (Load reconstructs a cube), and query.go
-// (MarkRedundancy, Compress — documented as must-not-run-concurrently).
+// (incremental Append), persist.go and snapshotv2.go (the v1 and v2
+// snapshot decoders reconstruct a cube), and query.go (MarkRedundancy,
+// Compress — documented as must-not-run-concurrently).
 //
 // Detected write forms: field assignment (cell.Count = n, cell.Count++),
 // writes through field-held maps and slices (cb.Cells[k] = v,
@@ -27,10 +28,11 @@ import (
 // prose contract.
 
 var immutAllowedFiles = map[string]bool{
-	"build.go":   true,
-	"append.go":  true,
-	"persist.go": true,
-	"query.go":   true,
+	"build.go":      true,
+	"append.go":     true,
+	"persist.go":    true,
+	"snapshotv2.go": true,
+	"query.go":      true,
 }
 
 var immutTypes = map[string]bool{

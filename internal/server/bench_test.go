@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"path/filepath"
 	"sort"
 	"testing"
 	"time"
@@ -100,6 +101,73 @@ func measure(tb testing.TB, h http.Handler, url string, n int) latencyStats {
 	}
 }
 
+// reloadStats summarizes POST /admin/reload timing over a persisted v2
+// snapshot file: end-to-end request latency plus the loader-reported load_ms
+// and snapshot size from the final reload response.
+type reloadStats struct {
+	Reloads       int     `json:"reloads"`
+	MeanMs        float64 `json:"mean_ms"`
+	P50Ms         float64 `json:"p50_ms"`
+	P99Ms         float64 `json:"p99_ms"`
+	LoadMs        float64 `json:"load_ms"`
+	SnapshotBytes int64   `json:"snapshot_bytes"`
+}
+
+// measureReload saves the example cube to disk, serves it through
+// FileLoader, and times n snapshot reloads.
+func measureReload(tb testing.TB, n int) reloadStats {
+	_, cube := buildExampleCube(tb)
+	path := filepath.Join(tb.TempDir(), "cube.fcb")
+	f, err := os.Create(path)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if err := cube.Save(f); err != nil {
+		tb.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		tb.Fatal(err)
+	}
+	s, err := New(FileLoader(path, BuildOptions{}), path, quietConfig())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	h := s.Handler()
+
+	lat := make([]time.Duration, n)
+	var lastBody []byte
+	for i := 0; i < n; i++ {
+		rec := httptest.NewRecorder()
+		t0 := time.Now()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/admin/reload", nil))
+		lat[i] = time.Since(t0)
+		if rec.Code != http.StatusOK {
+			tb.Fatalf("reload %d: %d %s", i, rec.Code, rec.Body.String())
+		}
+		lastBody = rec.Body.Bytes()
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	var sum time.Duration
+	for _, d := range lat {
+		sum += d
+	}
+	var resp struct {
+		LoadMs        float64 `json:"load_ms"`
+		SnapshotBytes int64   `json:"snapshot_bytes"`
+	}
+	if err := json.Unmarshal(lastBody, &resp); err != nil {
+		tb.Fatal(err)
+	}
+	return reloadStats{
+		Reloads:       n,
+		MeanMs:        float64(sum.Nanoseconds()) / float64(n) / 1e6,
+		P50Ms:         float64(lat[n/2].Nanoseconds()) / 1e6,
+		P99Ms:         float64(lat[n*99/100].Nanoseconds()) / 1e6,
+		LoadMs:        resp.LoadMs,
+		SnapshotBytes: resp.SnapshotBytes,
+	}
+}
+
 // TestServeLatencyResults regenerates results/serve_latency.json:
 //
 //	FLOWSERVE_RESULTS=results/serve_latency.json go test ./internal/server -run ServeLatency
@@ -117,12 +185,15 @@ func TestServeLatencyResults(t *testing.T) {
 	uncachedSrv := benchServer(t, -1)
 	uncachedStats := measure(t, uncachedSrv.Handler(), benchQuery, n)
 
+	reloadStats := measureReload(t, 50)
+
 	result := map[string]any{
 		"benchmark": "GET /v1/cell (paper running-example cube, single goroutine, httptest)",
 		"query":     benchQuery,
 		"command":   "FLOWSERVE_RESULTS=results/serve_latency.json go test ./internal/server -run ServeLatency",
 		"cached":    cachedStats,
 		"uncached":  uncachedStats,
+		"reload":    reloadStats,
 	}
 	body, err := json.MarshalIndent(result, "", "  ")
 	if err != nil {

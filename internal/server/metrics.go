@@ -107,10 +107,20 @@ type CacheMetrics struct {
 	HitRatio float64 `json:"hit_ratio"`
 }
 
+// SnapshotMetrics are the gauges of the currently served snapshot: how long
+// the loader took and how many serialized bytes it read. Server.Metrics
+// fills them from the snapshot holder; they reset on every reload.
+type SnapshotMetrics struct {
+	LoadMs   float64 `json:"load_ms"`
+	Bytes    int64   `json:"snapshot_bytes"`
+	LoadedAt string  `json:"loaded_at"`
+}
+
 // MetricsSnapshot is the GET /metrics response body.
 type MetricsSnapshot struct {
 	UptimeSeconds float64                 `json:"uptime_seconds"`
 	Reloads       int64                   `json:"reloads"`
+	Snapshot      SnapshotMetrics         `json:"snapshot"`
 	Cache         CacheMetrics            `json:"cache"`
 	Routes        map[string]RouteMetrics `json:"routes"`
 }

@@ -84,20 +84,41 @@ func New(loader Loader, source string, cfg Config) (*Server, error) {
 	if s.logger == nil {
 		s.logger = log.Default()
 	}
-	cube, err := loader()
+	snap, err := s.load()
 	if err != nil {
 		return nil, err
 	}
-	s.holder.set(newSnapshot(cube, source, cfg.CacheSize))
+	s.holder.set(snap)
 	s.handler = s.routes()
 	return s, nil
+}
+
+// load runs the loader once and wraps the result in a timed snapshot.
+func (s *Server) load() (*Snapshot, error) {
+	start := time.Now()
+	cube, info, err := s.loader()
+	if err != nil {
+		return nil, err
+	}
+	return newSnapshot(cube, s.source, s.cfg.CacheSize, time.Since(start), info.Bytes), nil
 }
 
 // Snapshot returns the current serving snapshot.
 func (s *Server) Snapshot() *Snapshot { return s.holder.get() }
 
-// Metrics returns a point-in-time copy of the serving metrics.
-func (s *Server) Metrics() MetricsSnapshot { return s.metrics.snapshot() }
+// Metrics returns a point-in-time copy of the serving metrics, including
+// the current snapshot's load gauges.
+func (s *Server) Metrics() MetricsSnapshot {
+	out := s.metrics.snapshot()
+	if snap := s.holder.get(); snap != nil {
+		out.Snapshot = SnapshotMetrics{
+			LoadMs:   float64(snap.LoadDuration.Nanoseconds()) / 1e6,
+			Bytes:    snap.Bytes,
+			LoadedAt: snap.LoadedAt.UTC().Format(time.RFC3339),
+		}
+	}
+	return out
+}
 
 // Handler returns the fully assembled HTTP handler (routing, logging,
 // metrics, per-request timeouts).
@@ -300,26 +321,28 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.metrics.snapshot())
+	writeJSON(w, http.StatusOK, s.Metrics())
 }
 
 // handleReload re-runs the loader and swaps the serving snapshot. In-flight
 // queries keep the snapshot (and cache) they started with; the swap is a
 // single guarded pointer write.
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
-	cube, err := s.loader()
+	snap, err := s.load()
 	if err != nil {
 		writeError(w, fmt.Errorf("reload: %w", err))
 		return
 	}
-	snap := newSnapshot(cube, s.source, s.cfg.CacheSize)
 	s.holder.set(snap)
 	s.metrics.reloads.Add(1)
-	s.logger.Printf("reloaded snapshot from %s: %d cells", snap.Source, cube.NumCells())
+	s.logger.Printf("reloaded snapshot from %s: %d cells, %d bytes in %s",
+		snap.Source, snap.Cube.NumCells(), snap.Bytes, snap.LoadDuration.Round(time.Microsecond))
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":    "reloaded",
-		"cells":     cube.NumCells(),
-		"loaded_at": snap.LoadedAt.UTC().Format(time.RFC3339),
+		"status":         "reloaded",
+		"cells":          snap.Cube.NumCells(),
+		"loaded_at":      snap.LoadedAt.UTC().Format(time.RFC3339),
+		"load_ms":        float64(snap.LoadDuration.Nanoseconds()) / 1e6,
+		"snapshot_bytes": snap.Bytes,
 	})
 }
 

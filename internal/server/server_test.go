@@ -53,7 +53,7 @@ func quietConfig() Config {
 // newTestServer serves a fixed cube through an in-memory loader.
 func newTestServer(t testing.TB, cube *core.Cube, cfg Config) *Server {
 	t.Helper()
-	s, err := New(func() (*core.Cube, error) { return cube, nil }, "test", cfg)
+	s, err := New(func() (*core.Cube, LoadInfo, error) { return cube, LoadInfo{}, nil }, "test", cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -258,10 +258,10 @@ func TestHealthzAndMetrics(t *testing.T) {
 
 func TestReloadSwapsSnapshot(t *testing.T) {
 	var loads atomic.Int64
-	loader := func() (*core.Cube, error) {
+	loader := func() (*core.Cube, LoadInfo, error) {
 		loads.Add(1)
 		_, cube := buildExampleCube(t)
-		return cube, nil
+		return cube, LoadInfo{Bytes: 4242}, nil
 	}
 	s, err := New(loader, "test", quietConfig())
 	if err != nil {
@@ -287,6 +287,18 @@ func TestReloadSwapsSnapshot(t *testing.T) {
 	if loads.Load() != 2 {
 		t.Errorf("loader ran %d times, want 2", loads.Load())
 	}
+
+	// The reload response reports how the new snapshot was produced.
+	var reloadBody map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &reloadBody); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := reloadBody["snapshot_bytes"].(float64); !ok || int64(got) != 4242 {
+		t.Errorf("reload snapshot_bytes = %v, want 4242", reloadBody["snapshot_bytes"])
+	}
+	if ms, ok := reloadBody["load_ms"].(float64); !ok || ms < 0 {
+		t.Errorf("reload load_ms = %v, want non-negative number", reloadBody["load_ms"])
+	}
 	after := s.Snapshot()
 	if after == before {
 		t.Error("snapshot pointer did not change")
@@ -296,6 +308,19 @@ func TestReloadSwapsSnapshot(t *testing.T) {
 	}
 	if got := s.Metrics().Reloads; got != 1 {
 		t.Errorf("reload counter = %d, want 1", got)
+	}
+	if m := s.Metrics().Snapshot; m.Bytes != 4242 || m.LoadMs < 0 || m.LoadedAt == "" {
+		t.Errorf("snapshot gauges = %+v, want bytes 4242 with load time", m)
+	}
+
+	// /metrics carries the same snapshot gauges.
+	_, metricsBody := get(t, s.Handler(), "/metrics")
+	snapGauges, ok := metricsBody["snapshot"].(map[string]any)
+	if !ok {
+		t.Fatalf("/metrics missing snapshot gauges: %v", metricsBody)
+	}
+	if got, ok := snapGauges["snapshot_bytes"].(float64); !ok || int64(got) != 4242 {
+		t.Errorf("/metrics snapshot_bytes = %v, want 4242", snapGauges["snapshot_bytes"])
 	}
 
 	// GET on the admin route is rejected.
@@ -308,9 +333,9 @@ func TestReloadSwapsSnapshot(t *testing.T) {
 // TestConcurrentQueriesDuringReload is the race-detector workout: clients
 // hammer /v1/cell while reloads swap the snapshot underneath them.
 func TestConcurrentQueriesDuringReload(t *testing.T) {
-	loader := func() (*core.Cube, error) {
+	loader := func() (*core.Cube, LoadInfo, error) {
 		_, cube := buildExampleCube(t)
-		return cube, nil
+		return cube, LoadInfo{}, nil
 	}
 	s, err := New(loader, "test", quietConfig())
 	if err != nil {

@@ -21,16 +21,23 @@ type Snapshot struct {
 	Cube     *core.Cube
 	Source   string
 	LoadedAt time.Time
+	// LoadDuration is how long the loader took to produce the cube.
+	LoadDuration time.Duration
+	// Bytes is the serialized size of the snapshot's input (the cube or
+	// path-database file), 0 when the loader cannot know it.
+	Bytes int64
 
 	cache *lru
 }
 
-func newSnapshot(cube *core.Cube, source string, cacheSize int) *Snapshot {
+func newSnapshot(cube *core.Cube, source string, cacheSize int, loadDur time.Duration, bytes int64) *Snapshot {
 	return &Snapshot{
-		Cube:     cube,
-		Source:   source,
-		LoadedAt: time.Now(),
-		cache:    newLRU(cacheSize),
+		Cube:         cube,
+		Source:       source,
+		LoadedAt:     time.Now(),
+		LoadDuration: loadDur,
+		Bytes:        bytes,
+		cache:        newLRU(cacheSize),
 	}
 }
 
@@ -53,10 +60,18 @@ func (h *holder) set(s *Snapshot) {
 	h.mu.Unlock()
 }
 
+// LoadInfo describes the serialized input a Loader read its cube from, for
+// the snapshot gauges on /metrics and the reload response.
+type LoadInfo struct {
+	// Bytes is the size of the serialized snapshot input; 0 when unknown
+	// (e.g. a cube built in memory).
+	Bytes int64
+}
+
 // Loader produces a fresh cube; it is called once at startup and again on
 // every POST /admin/reload. It must return a cube no other goroutine will
 // mutate.
-type Loader func() (*core.Cube, error)
+type Loader func() (*core.Cube, LoadInfo, error)
 
 // BuildOptions parameterize cube construction when the loader starts from a
 // raw path database rather than a persisted cube.
@@ -81,22 +96,26 @@ type BuildOptions struct {
 // with opts. Reload re-reads the file, so replacing it on disk and POSTing
 // /admin/reload rolls the serving snapshot forward.
 func FileLoader(path string, opts BuildOptions) Loader {
-	return func() (*core.Cube, error) {
+	return func() (*core.Cube, LoadInfo, error) {
 		f, err := os.Open(path)
 		if err != nil {
-			return nil, err
+			return nil, LoadInfo{}, err
 		}
 		defer func() { _ = f.Close() }() // read-only; close errors carry no information
+		var info LoadInfo
+		if st, err := f.Stat(); err == nil {
+			info.Bytes = st.Size()
+		}
 		cube, cubeErr := core.Load(f)
 		if cubeErr == nil {
-			return cube, nil
+			return cube, info, nil
 		}
 		if _, err := f.Seek(0, io.SeekStart); err != nil {
-			return nil, err
+			return nil, LoadInfo{}, err
 		}
 		ds, dsErr := datagen.Read(f)
 		if dsErr != nil {
-			return nil, fmt.Errorf("server: %s is neither a saved cube (%v) nor a path database (%v)",
+			return nil, LoadInfo{}, fmt.Errorf("server: %s is neither a saved cube (%v) nor a path database (%v)",
 				path, cubeErr, dsErr)
 		}
 		cube, err = core.Build(ds.DB, core.Config{
@@ -109,8 +128,8 @@ func FileLoader(path string, opts BuildOptions) Loader {
 			Workers:               opts.Workers,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("server: build cube from %s: %w", path, err)
+			return nil, LoadInfo{}, fmt.Errorf("server: build cube from %s: %w", path, err)
 		}
-		return cube, nil
+		return cube, info, nil
 	}
 }

@@ -73,6 +73,41 @@ func (m *Multinomial) Outcomes() []int64 {
 	return out
 }
 
+// AppendSorted appends the distribution's (outcome, count) pairs in
+// ascending outcome order to the two parallel slices and returns them. The
+// columnar snapshot encoder uses it to pool many distributions into shared
+// backing arrays without an intermediate per-distribution slice.
+func (m *Multinomial) AppendSorted(outcomes, counts []int64) ([]int64, []int64) {
+	for _, v := range m.Outcomes() {
+		outcomes = append(outcomes, v)
+		counts = append(counts, m.counts[v])
+	}
+	return outcomes, counts
+}
+
+// InitSorted initializes a zero-value Multinomial from parallel slices of
+// strictly increasing outcomes and non-negative counts. Snapshot decoding
+// uses it to rebuild many distributions out of pooled columnar arrays with
+// exactly one map allocation each; the slices are copied, not retained.
+func (m *Multinomial) InitSorted(outcomes, counts []int64) error {
+	if len(outcomes) != len(counts) {
+		return fmt.Errorf("stats: %d outcomes vs %d counts", len(outcomes), len(counts))
+	}
+	m.counts = make(map[int64]int64, len(outcomes))
+	m.total = 0
+	for i, v := range outcomes {
+		if i > 0 && outcomes[i-1] >= v {
+			return fmt.Errorf("stats: outcomes not strictly increasing at index %d", i)
+		}
+		if counts[i] < 0 {
+			return fmt.Errorf("stats: negative count %d for outcome %d", counts[i], v)
+		}
+		m.counts[v] = counts[i]
+		m.total += counts[i]
+	}
+	return nil
+}
+
 // Merge folds the observations of other into m. This is what makes the
 // duration and transition components of a flowgraph algebraic measures
 // (paper Lemma 4.2): a parent cell's distribution is the merge of its

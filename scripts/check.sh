@@ -24,6 +24,7 @@ go test -race ./...
 
 echo "== fuzz (10s per target) =="
 go test ./internal/core -run '^$' -fuzz FuzzParseCellSpec -fuzztime 10s
+go test ./internal/core -run '^$' -fuzz FuzzLoadSnapshot -fuzztime 10s -fuzzminimizetime 10x
 go test ./internal/pathdb -run '^$' -fuzz FuzzRead -fuzztime 10s
 
 echo "ok"
