@@ -2,7 +2,7 @@
 # scripts/check.sh (vet + build + flowlint + race-detector tests + short
 # fuzz).
 
-.PHONY: build test check lint fuzz-short bench bench-serve bench-persist
+.PHONY: build test check lint fuzz-short bench bench-serve bench-persist bench-incr
 
 build:
 	go build ./...
@@ -26,6 +26,7 @@ fuzz-short:
 	go test ./internal/core -run '^$$' -fuzz FuzzParseCellSpec -fuzztime 10s
 	go test ./internal/core -run '^$$' -fuzz FuzzLoadSnapshot -fuzztime 10s -fuzzminimizetime 10x
 	go test ./internal/pathdb -run '^$$' -fuzz FuzzRead -fuzztime 10s
+	go test ./internal/incr -run '^$$' -fuzz FuzzApplyDelta -fuzztime 10s
 
 # Regenerate the canonical counting-core benchmark suite (scan-1, trie
 # counting, populate) checked in as BENCH_mining.json. Takes ~10 minutes;
@@ -43,3 +44,9 @@ bench-serve:
 # checked in as BENCH_persist.json. See DESIGN.md "Snapshot format v2".
 bench-persist:
 	go run ./cmd/flowbench -persist -quiet -persist-out BENCH_persist.json
+
+# Regenerate the incremental-maintenance benchmark suite (1% batch delta
+# vs full rebuild) checked in as BENCH_incr.json. See DESIGN.md
+# "Incremental maintenance".
+bench-incr:
+	go run ./cmd/flowbench -incr -quiet -incr-out BENCH_incr.json

@@ -9,6 +9,7 @@
 //	flowbench -fig 7 -algos shared,cubing
 //	flowbench -ablation pruning,merge,counting,redundancy,iceberg,engine,parallel
 //	flowbench -persist -persist-out BENCH_persist.json
+//	flowbench -incr -incr-out BENCH_incr.json
 //
 // Scale multiplies the paper's database sizes; the default 0.1 sweeps
 // 10k–100k paths and completes in minutes. Absolute times will not match
@@ -52,13 +53,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 	microIters := fs.Int("micro-iters", 0, "fixed iteration count per micro-benchmark (0 = time-targeted, the canonical mode)")
 	persist := fs.Bool("persist", false, "run the snapshot-codec benchmarks (v1 gob vs v2 columnar, save/load, seq/parallel)")
 	persistOut := fs.String("persist-out", "", "write the persist benchmark suite as JSON to this file (default stdout)")
+	incr := fs.Bool("incr", false, "run the incremental-maintenance benchmarks (1% batch delta vs full rebuild)")
+	incrOut := fs.String("incr-out", "", "write the incremental benchmark suite as JSON to this file (default stdout)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile at exit to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	if *fig == "" && *ablation == "" && !*micro && !*persist {
+	if *fig == "" && *ablation == "" && !*micro && !*persist && !*incr {
 		*fig = "all"
 	}
 
@@ -150,6 +153,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if *persist {
 		if err := writeJSON(bench.Persist(opts), *persistOut, stdout); err != nil {
+			return err
+		}
+	}
+	if *incr {
+		if err := writeJSON(bench.Incr(opts), *incrOut, stdout); err != nil {
 			return err
 		}
 	}

@@ -28,14 +28,31 @@
 //	schema := flowcube.MustNewSchema(location, product, brand)
 //	db := flowcube.NewDB(schema)
 //	// ... append records ...
-//	cube, err := flowcube.Build(db, flowcube.Config{
-//		MinSupport:     0.01,
-//		Epsilon:        0.1,
-//		Plan:           flowcube.Plan{PathLevels: levels},
-//		MineExceptions: true,
-//	})
+//	cfg, err := flowcube.NewConfig(flowcube.Plan{PathLevels: levels},
+//		flowcube.WithDelta(25),     // absolute iceberg threshold δ
+//		flowcube.WithEpsilon(0.1),  // exception significance
+//		flowcube.WithExceptions(),  // mine exceptions
+//		flowcube.WithDeltaLedger(), // carry sub-δ counts for ApplyDelta
+//	)
+//	cube, err := flowcube.BuildContext(ctx, db, cfg)
 //	g, _, _, _ := cube.QueryGraph(spec, values)
 //	fmt.Print(g)
+//
+// NewConfig validates eagerly and returns a *ConfigError for bad settings;
+// a Config literal passed to Build is validated the same way. The full
+// option set: WithDelta (absolute δ) or WithMinSupport (fractional),
+// WithEpsilon, WithTau, WithWorkers, WithExceptions, WithDeltaLedger.
+// Build and LoadCube are the context-free forms of BuildContext and
+// LoadCubeContext.
+//
+// # Streaming append
+//
+// A cube built with an absolute δ (WithDelta) is maintainable under
+// streaming appends: ApplyDelta(cube, db, batch) folds a batch of new
+// records into the materialized cube — touching only the affected cells —
+// and is byte-exact against a full rebuild over the union database.
+// Serving processes patch a (*Cube).Clone and swap snapshots; see
+// DESIGN.md §9 and cmd/flowserve's POST /admin/append.
 //
 // See examples/quickstart for a complete program built on the paper's
 // running example, and DESIGN.md for the system inventory.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -17,23 +18,10 @@ import (
 // segments at every materialized abstraction level, constructs a flowgraph
 // for every frequent cell of every requested cuboid, mines exceptions from
 // the frequent segments, and — when τ is set — marks redundant cells.
+// It rejects an invalid configuration with a *ConfigError, and delegates
+// to BuildContext with a background context.
 func Build(db *pathdb.DB, cfg Config) (*Cube, error) {
-	cube, conds, err := prepare(db, cfg)
-	if err != nil {
-		return nil, err
-	}
-
-	// One scan of the path database assigns records to the cells of every
-	// materialized cuboid and folds their paths into the flowgraphs.
-	cube.populate(db)
-
-	if cfg.MineExceptions {
-		cube.mineExceptions(db, conds)
-	}
-	if cfg.Tau > 0 {
-		cube.MarkRedundancy(cfg.Tau)
-	}
-	return cube, nil
+	return BuildContext(context.Background(), db, cfg)
 }
 
 // prepare runs everything that precedes the populate scan — encoding,

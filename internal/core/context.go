@@ -1,0 +1,63 @@
+package core
+
+import (
+	"context"
+	"io"
+
+	"flowcube/internal/pathdb"
+)
+
+// BuildContext is Build with cancellation: the configuration is validated
+// up front (returning *ConfigError), and ctx is checked between the
+// pipeline phases — encode+mine, populate, sub-δ ledger, exception mining,
+// redundancy marking — so a cancelled build returns promptly without
+// leaving goroutines behind (each phase joins its own workers). A build
+// cancelled mid-phase finishes that phase first; phases are the paper's
+// natural barriers and the granularity the snapshot codec shares.
+func BuildContext(ctx context.Context, db *pathdb.DB, cfg Config) (*Cube, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	cube, conds, err := prepare(db, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// One scan of the path database assigns records to the cells of every
+	// materialized cuboid and folds their paths into the flowgraphs.
+	cube.populate(db)
+
+	if cfg.DeltaLedger {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		cube.buildLedger(db)
+	}
+	if cfg.MineExceptions {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		cube.mineExceptions(db, conds)
+	}
+	if cfg.Tau > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		cube.MarkRedundancy(cfg.Tau)
+	}
+	return cube, nil
+}
+
+// LoadContext is Load with cancellation: ctx is checked between snapshot
+// sections (header, hierarchies, plan, each cuboid, ledger), so loading a
+// large snapshot from a slow reader can be abandoned without decoding the
+// rest.
+func LoadContext(ctx context.Context, r io.Reader) (*Cube, error) {
+	return LoadContextWith(ctx, r, LoadOptions{})
+}

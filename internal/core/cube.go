@@ -128,6 +128,9 @@ type Cube struct {
 
 	minCount int64
 	appended int64
+	// ledger is the sub-δ count store carried when Config.DeltaLedger is
+	// set; see delta.go and internal/incr.
+	ledger *Ledger
 }
 
 // Config parameterizes Build.
@@ -164,6 +167,12 @@ type Config struct {
 	// goroutines (cells are independent). It is also copied into the
 	// mining options when they are not overridden. 0 or 1 is sequential.
 	Workers int
+	// DeltaLedger carries an auxiliary sub-δ count ledger in the cube (and
+	// its snapshots): the exact count of every below-threshold dimension
+	// combination at each materialized item level. It is what lets
+	// incr.ApplyDelta admit newly-frequent iceberg cells without a base
+	// database scan; see DESIGN.md §9.
+	DeltaLedger bool
 }
 
 // MinCount reports the absolute iceberg threshold used by the cube.

@@ -1,0 +1,323 @@
+package core
+
+// Delta-maintenance support (see internal/incr and DESIGN.md §9): the
+// sub-δ count ledger that lets an append batch admit newly-frequent iceberg
+// cells without rescanning the base database, a deep Clone so a serving
+// layer can delta-patch a copy while readers keep the original, and the
+// exported cell/tid primitives the incr package drives the update with.
+//
+// This file is on the immutcube allowlist: everything here is build-phase
+// machinery in the same sense as build.go — it runs on cubes no reader
+// shares yet (a fresh Build, or a Clone made expressly to be patched).
+
+import (
+	"sort"
+
+	"flowcube/internal/flowgraph"
+	"flowcube/internal/hierarchy"
+	"flowcube/internal/pathdb"
+	"flowcube/internal/transact"
+)
+
+// Ledger is the auxiliary sub-δ count store: for every materialized item
+// level, the exact path count of every dimension-value combination that
+// occurs in the database but falls below the iceberg threshold. A cube
+// built with Config.DeltaLedger carries it (and persists it in snapshot
+// sections), so ApplyDelta can decide cell admission — base count plus
+// batch count crossing δ — in O(1) per touched combination instead of a
+// base-database scan.
+type Ledger struct {
+	levels map[string]*ledgerLevel
+}
+
+type ledgerLevel struct {
+	item    ItemLevel
+	entries map[string]*ledgerEntry
+}
+
+type ledgerEntry struct {
+	values []hierarchy.NodeID
+	count  int64
+}
+
+// NewLedger returns an empty ledger.
+func NewLedger() *Ledger {
+	return &Ledger{levels: make(map[string]*ledgerLevel)}
+}
+
+// Count reports the recorded sub-δ count of a combination (0 when absent —
+// absent means the combination never occurred below threshold).
+func (l *Ledger) Count(il ItemLevel, values []hierarchy.NodeID) int64 {
+	if l == nil {
+		return 0
+	}
+	lv := l.levels[il.Key()]
+	if lv == nil {
+		return 0
+	}
+	e := lv.entries[cellKey(values)]
+	if e == nil {
+		return 0
+	}
+	return e.count
+}
+
+// Bump adds n to a combination's count, creating the entry if needed, and
+// returns the new count.
+func (l *Ledger) Bump(il ItemLevel, values []hierarchy.NodeID, n int64) int64 {
+	key := il.Key()
+	lv := l.levels[key]
+	if lv == nil {
+		lv = &ledgerLevel{item: append(ItemLevel(nil), il...), entries: make(map[string]*ledgerEntry)}
+		l.levels[key] = lv
+	}
+	ck := cellKey(values)
+	e := lv.entries[ck]
+	if e == nil {
+		e = &ledgerEntry{values: append([]hierarchy.NodeID(nil), values...)}
+		lv.entries[ck] = e
+	}
+	e.count += n
+	return e.count
+}
+
+// Remove drops a combination (called when it crosses δ and becomes a cell).
+func (l *Ledger) Remove(il ItemLevel, values []hierarchy.NodeID) {
+	if lv := l.levels[il.Key()]; lv != nil {
+		delete(lv.entries, cellKey(values))
+	}
+}
+
+// Size reports the total number of sub-δ entries across item levels.
+func (l *Ledger) Size() int {
+	if l == nil {
+		return 0
+	}
+	n := 0
+	for _, lv := range l.levels {
+		n += len(lv.entries)
+	}
+	return n
+}
+
+// clone deep-copies the ledger; nil stays nil.
+func (l *Ledger) clone() *Ledger {
+	if l == nil {
+		return nil
+	}
+	c := NewLedger()
+	for k, lv := range l.levels {
+		nlv := &ledgerLevel{item: lv.item, entries: make(map[string]*ledgerEntry, len(lv.entries))}
+		for ck, e := range lv.entries {
+			nlv.entries[ck] = &ledgerEntry{values: e.values, count: e.count}
+		}
+		c.levels[k] = nlv
+	}
+	return c
+}
+
+// sortedLevels returns the ledger's item levels in ascending key order, for
+// deterministic encoding.
+func (l *Ledger) sortedLevels() []*ledgerLevel {
+	keys := make([]string, 0, len(l.levels))
+	for k := range l.levels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*ledgerLevel, len(keys))
+	for i, k := range keys {
+		out[i] = l.levels[k]
+	}
+	return out
+}
+
+// sortedEntries returns one level's entries in ascending cell-key order.
+func (lv *ledgerLevel) sortedEntries() []*ledgerEntry {
+	keys := make([]string, 0, len(lv.entries))
+	for k := range lv.entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*ledgerEntry, len(keys))
+	for i, k := range keys {
+		out[i] = lv.entries[k]
+	}
+	return out
+}
+
+// Ledger returns the cube's sub-δ ledger, or nil when the cube was built
+// without Config.DeltaLedger.
+func (c *Cube) Ledger() *Ledger { return c.ledger }
+
+// ItemLevels returns the distinct item abstraction levels of the
+// materialized cuboids, sorted by key.
+func (c *Cube) ItemLevels() []ItemLevel {
+	seen := make(map[string]ItemLevel)
+	for _, cb := range c.Cuboids {
+		seen[cb.Spec.Item.Key()] = cb.Spec.Item
+	}
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]ItemLevel, len(keys))
+	for i, k := range keys {
+		out[i] = seen[k]
+	}
+	return out
+}
+
+// buildLedger populates the sub-δ ledger from the base database: one scan
+// per materialized item level (levels are independent, so they spread
+// across Config.Workers), counting every combination and then dropping the
+// ones at or above the iceberg threshold — those are materialized cells and
+// carry their counts themselves.
+func (c *Cube) buildLedger(db *pathdb.DB) {
+	levels := c.ItemLevels()
+	built := make([]*ledgerLevel, len(levels))
+	c.forEach(len(levels), func(i int) {
+		il := levels[i]
+		lv := &ledgerLevel{item: append(ItemLevel(nil), il...), entries: make(map[string]*ledgerEntry)}
+		values := make([]hierarchy.NodeID, len(il))
+		for r := range db.Records {
+			rec := &db.Records[r]
+			for d, l := range il {
+				if l == 0 {
+					values[d] = hierarchy.Root
+				} else {
+					values[d] = c.Schema.Dims[d].AncestorAt(rec.Dims[d], l)
+				}
+			}
+			ck := cellKey(values)
+			e := lv.entries[ck]
+			if e == nil {
+				e = &ledgerEntry{values: append([]hierarchy.NodeID(nil), values...)}
+				lv.entries[ck] = e
+			}
+			e.count++
+		}
+		for ck, e := range lv.entries {
+			if e.count >= c.minCount {
+				delete(lv.entries, ck)
+			}
+		}
+		built[i] = lv
+	})
+	c.ledger = NewLedger()
+	for _, lv := range built {
+		c.ledger.levels[lv.item.Key()] = lv
+	}
+}
+
+// CellKey returns the canonical identity string of per-dimension values —
+// the key SortedCells and the cuboid cell maps are ordered by.
+func CellKey(values []hierarchy.NodeID) string { return cellKey(values) }
+
+// TIDs returns the record ids (indices into the build database) assigned to
+// the cell, in ascending order. The slice is the cell's own backing store —
+// callers must treat it as read-only. It is nil for cubes loaded from a
+// snapshot; RebuildTIDs recovers it.
+func (cell *Cell) TIDs() []int32 { return cell.tids }
+
+// SetTIDs replaces the cell's record-id list.
+func (cell *Cell) SetTIDs(tids []int32) { cell.tids = tids }
+
+// RebuildTIDs re-derives every materialized cell's record-id list from the
+// database the cube was built over (or an equal copy), using the same
+// packed-key assignment scan as Build. Cubes loaded from snapshots do not
+// carry tids; delta maintenance needs them once.
+func (c *Cube) RebuildTIDs(db *pathdb.DB) {
+	c.assignCells(db, c.populateTargets())
+}
+
+// AdmitCell registers a newly-frequent cell (found by delta maintenance) in
+// every materialized cuboid sharing its item level, exactly as the build
+// phase does for cells found by mining. Existing cells are left untouched.
+func (c *Cube) AdmitCell(il ItemLevel, values []hierarchy.NodeID, count int64) {
+	c.addCell(il, values, count)
+}
+
+// BatchAssignment pairs one materialized cell with the ids of the records
+// in an appended range that belong to it.
+type BatchAssignment struct {
+	Cuboid *Cuboid
+	Cell   *Cell
+	TIDs   []int32
+}
+
+// AssignRange routes the records in [lo, hi) of db to the cells of every
+// materialized cuboid using the packed-key assignment plan (the same plan
+// the populate scan uses), without mutating the cube. It returns only the
+// cells that were hit, in deterministic sorted cuboid/cell order — the
+// touched-cell set of an append batch.
+func (c *Cube) AssignRange(db *pathdb.DB, lo, hi int) []BatchAssignment {
+	targets := c.populateTargets()
+	if len(targets) == 0 || lo >= hi {
+		return nil
+	}
+	plan := newAssignPlan(db.Schema, targets)
+	bucket := make([][]int32, len(plan.slots))
+	plan.assign(db, lo, hi, bucket)
+	// Slot ids were handed out in target order, cells in sorted order
+	// within each target (see newAssignPlan), so a single walk in the same
+	// order recovers the cuboid of every slot.
+	var out []BatchAssignment
+	slot := 0
+	for _, cb := range targets {
+		for _, cell := range cb.SortedCells() {
+			if tids := bucket[slot]; len(tids) > 0 {
+				out = append(out, BatchAssignment{Cuboid: cb, Cell: cell, TIDs: tids})
+			}
+			slot++
+		}
+	}
+	return out
+}
+
+// StagePins converts an all-stage itemset into exception-condition pins,
+// applying the build phase's filters: every stage must sit at the same path
+// abstraction level and at least one pin must carry a concrete duration.
+// It returns the shared path level and ok=false when a filter rejects the
+// set.
+func StagePins(syms *transact.Symbols, stages []transact.Item) (int, []flowgraph.StagePin, bool) {
+	return stagePins(syms, stages)
+}
+
+// Clone returns a deep copy of the cube that shares only immutable state
+// (the schema and hierarchies, the mining result): cells, flowgraphs, tids,
+// the symbol table, and the sub-δ ledger are all copied. The clone is safe
+// to mutate — in particular to delta-patch — while readers keep using the
+// original.
+func (c *Cube) Clone() *Cube {
+	clone := &Cube{
+		Schema:   c.Schema,
+		Config:   c.Config,
+		Symbols:  c.Symbols.Clone(),
+		Mining:   c.Mining,
+		Cuboids:  make(map[string]*Cuboid, len(c.Cuboids)),
+		minCount: c.minCount,
+		appended: c.appended,
+		ledger:   c.ledger.clone(),
+	}
+	for key, cb := range c.Cuboids {
+		ncb := &Cuboid{Spec: cb.Spec, Cells: make(map[string]*Cell, len(cb.Cells))}
+		for ck, cell := range cb.Cells {
+			ncell := &Cell{
+				Values:     append([]hierarchy.NodeID(nil), cell.Values...),
+				Count:      cell.Count,
+				Redundant:  cell.Redundant,
+				Similarity: cell.Similarity,
+			}
+			if cell.Graph != nil {
+				ncell.Graph = cell.Graph.Clone()
+			}
+			if cell.tids != nil {
+				ncell.tids = append([]int32(nil), cell.tids...)
+			}
+			ncb.Cells[ck] = ncell
+		}
+		clone.Cuboids[key] = ncb
+	}
+	return clone
+}

@@ -10,17 +10,19 @@ import (
 // in the item lattice — at the same path level — adds no information; a
 // non-redundant flowcube drops it and answers queries from the parent.
 
-// parentRefs enumerates the item-lattice parents of a cell: for each
-// dimension at a non-'*' level, the cell with that dimension generalized to
-// the previous materialized level (or '*').
-func (c *Cube) parentRefs(spec CuboidSpec, values []hierarchy.NodeID) [](struct {
+// CellRef names a cell by cuboid spec and per-dimension values without
+// requiring it to be materialized.
+type CellRef struct {
 	Spec   CuboidSpec
 	Values []hierarchy.NodeID
-}) {
-	type ref = struct {
-		Spec   CuboidSpec
-		Values []hierarchy.NodeID
-	}
+}
+
+// ParentRefs enumerates the item-lattice parents of a cell: for each
+// dimension at a non-'*' level, the cell with that dimension generalized to
+// the previous materialized level (or '*'). Delta maintenance uses it to
+// find the redundancy frontier of a touched cell (DESIGN.md §9).
+func (c *Cube) ParentRefs(spec CuboidSpec, values []hierarchy.NodeID) []CellRef {
+	type ref = CellRef
 	var out []ref
 	dimLevels := c.Symbols.DimLevels()
 	for d, l := range spec.Item {
@@ -59,35 +61,42 @@ func (c *Cube) MarkRedundancy(tau float64) int {
 	n := 0
 	for _, cb := range c.Cuboids {
 		for _, cell := range cb.Cells {
-			if cell.Graph == nil {
-				continue
-			}
-			parents := c.parentRefs(cb.Spec, cell.Values)
-			compared := 0
-			minSim := 1.0
-			for _, p := range parents {
-				pc, ok := c.Cell(p.Spec, p.Values)
-				if !ok || pc.Graph == nil {
-					continue
-				}
-				compared++
-				if sim := flowgraph.Similarity(cell.Graph, pc.Graph); sim < minSim {
-					minSim = sim
-				}
-			}
-			if compared == 0 {
-				cell.Similarity = SimilarityUnknown
-				cell.Redundant = false
-				continue
-			}
-			cell.Similarity = minSim
-			cell.Redundant = minSim > tau
-			if cell.Redundant {
+			if c.MarkCellRedundancy(cb.Spec, cell, tau) {
 				n++
 			}
 		}
 	}
 	return n
+}
+
+// MarkCellRedundancy recomputes one cell's redundancy marking against its
+// currently materialized item-lattice parents and reports whether the cell
+// is redundant. It is the per-cell body of MarkRedundancy; delta
+// maintenance calls it for touched cells and their frontier only.
+func (c *Cube) MarkCellRedundancy(spec CuboidSpec, cell *Cell, tau float64) bool {
+	if cell.Graph == nil {
+		return false
+	}
+	compared := 0
+	minSim := 1.0
+	for _, p := range c.ParentRefs(spec, cell.Values) {
+		pc, ok := c.Cell(p.Spec, p.Values)
+		if !ok || pc.Graph == nil {
+			continue
+		}
+		compared++
+		if sim := flowgraph.Similarity(cell.Graph, pc.Graph); sim < minSim {
+			minSim = sim
+		}
+	}
+	if compared == 0 {
+		cell.Similarity = SimilarityUnknown
+		cell.Redundant = false
+		return false
+	}
+	cell.Similarity = minSim
+	cell.Redundant = minSim > tau
+	return cell.Redundant
 }
 
 // Compress removes redundant cells from the cube, yielding the paper's
@@ -125,7 +134,7 @@ func (c *Cube) QueryGraph(spec CuboidSpec, values []hierarchy.NodeID) (g *flowgr
 	for len(frontier) > 0 {
 		var next []ref
 		for _, r := range frontier {
-			for _, p := range c.parentRefs(r.spec, r.values) {
+			for _, p := range c.ParentRefs(r.spec, r.values) {
 				k := p.Spec.Key() + "|" + cellKey(p.Values)
 				if seen[k] {
 					continue

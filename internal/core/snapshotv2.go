@@ -27,6 +27,7 @@ package core
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
@@ -49,13 +50,17 @@ const magicV2 = "FCUBEv2\n"
 // anything newer than it understands.
 const formatVersionV2 = 2
 
-// Section kinds.
+// Section kinds. secLedger is optional: it is written only for cubes built
+// with Config.DeltaLedger (its presence restores that flag on load), so
+// snapshots of ledger-less cubes are byte-identical to what older writers
+// produced — the golden v1→v2 compatibility fixture depends on that.
 const (
 	secEnd         = 0
 	secHeader      = 1
 	secHierarchies = 2
 	secPlan        = 3
 	secCuboid      = 4
+	secLedger      = 5
 )
 
 // maxSectionBytes caps one section's claimed payload length (1 GiB). Real
@@ -345,7 +350,103 @@ func (c *Cube) SaveWith(w io.Writer, opts SaveOptions) error {
 			return err
 		}
 	}
+	if c.ledger != nil {
+		if err := writeSection(w, secLedger, encodeLedgerV2(c.ledger)); err != nil {
+			return err
+		}
+	}
 	return writeSection(w, secEnd, nil)
+}
+
+// encodeLedgerV2 encodes the sub-δ ledger: levels in ascending item-level
+// key order, entries in ascending cell-key order — deterministic bytes for
+// a given ledger state.
+func encodeLedgerV2(l *Ledger) []byte {
+	levels := l.sortedLevels()
+	var buf []byte
+	buf = binary.AppendUvarint(buf, uint64(len(levels)))
+	for _, lv := range levels {
+		buf = binary.AppendUvarint(buf, uint64(len(lv.item)))
+		for _, level := range lv.item {
+			buf = binary.AppendUvarint(buf, uint64(level))
+		}
+		entries := lv.sortedEntries()
+		buf = binary.AppendUvarint(buf, uint64(len(entries)))
+		for _, e := range entries {
+			for _, v := range e.values {
+				buf = binary.AppendVarint(buf, int64(v))
+			}
+			buf = binary.AppendVarint(buf, e.count)
+		}
+	}
+	return buf
+}
+
+// decodeLedgerV2 decodes a secLedger payload. numDims bounds every item
+// level's width.
+func decodeLedgerV2(payload []byte, numDims int) (*Ledger, error) {
+	r := &byteReader{buf: payload, section: "ledger"}
+	nl, err := r.count("ledger level")
+	if err != nil {
+		return nil, err
+	}
+	ledger := NewLedger()
+	for i := 0; i < nl; i++ {
+		nd, err := r.count("ledger item level width")
+		if err != nil {
+			return nil, err
+		}
+		if nd != numDims {
+			return nil, r.corrupt("ledger item level has %d dimensions, header %d", nd, numDims)
+		}
+		il := make(ItemLevel, nd)
+		for d := range il {
+			l, err := r.intVal("ledger level value")
+			if err != nil {
+				return nil, err
+			}
+			il[d] = l
+		}
+		key := il.Key()
+		if _, dup := ledger.levels[key]; dup {
+			return nil, r.corrupt("duplicate ledger item level %s", key)
+		}
+		ne, err := r.count("ledger entry")
+		if err != nil {
+			return nil, err
+		}
+		lv := &ledgerLevel{item: il, entries: make(map[string]*ledgerEntry, ne)}
+		ledger.levels[key] = lv
+		for j := 0; j < ne; j++ {
+			values := make([]hierarchy.NodeID, nd)
+			for d := range values {
+				v, err := r.varint()
+				if err != nil {
+					return nil, err
+				}
+				if v < math.MinInt32 || v > math.MaxInt32 {
+					return nil, r.corrupt("ledger value %d outside int32", v)
+				}
+				values[d] = hierarchy.NodeID(v)
+			}
+			count, err := r.varint()
+			if err != nil {
+				return nil, err
+			}
+			if count <= 0 {
+				return nil, r.corrupt("ledger entry count %d, want positive", count)
+			}
+			ck := cellKey(values)
+			if _, dup := lv.entries[ck]; dup {
+				return nil, r.corrupt("duplicate ledger entry %s at level %s", ck, key)
+			}
+			lv.entries[ck] = &ledgerEntry{values: values, count: count}
+		}
+	}
+	if r.rem() != 0 {
+		return nil, r.corrupt("%d trailing bytes", r.rem())
+	}
+	return ledger, nil
 }
 
 // encodeCuboidsV2 encodes every cuboid section, spreading the work over
@@ -464,10 +565,19 @@ func Load(r io.Reader) (*Cube, error) {
 
 // LoadWith is Load with explicit codec options.
 func LoadWith(r io.Reader, opts LoadOptions) (*Cube, error) {
+	return LoadContextWith(context.Background(), r, opts)
+}
+
+// LoadContextWith is LoadContext with explicit codec options: ctx is
+// checked between snapshot sections.
+func LoadContextWith(ctx context.Context, r io.Reader, opts LoadOptions) (*Cube, error) {
 	br := bufio.NewReader(r)
 	magic, err := br.Peek(len(magicV2))
 	if err == nil && string(magic) == magicV2 {
-		return loadV2(br, opts)
+		return loadV2(ctx, br, opts)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	// Not a v2 snapshot (or shorter than the magic): the v1 gob decoder
 	// owns the error message either way.
@@ -510,8 +620,9 @@ func sectionPayload(br *bufio.Reader) (kind byte, payload []byte, err error) {
 	return kind, payload, nil
 }
 
-// loadV2 decodes a v2 snapshot from br, positioned at the magic.
-func loadV2(br *bufio.Reader, opts LoadOptions) (*Cube, error) {
+// loadV2 decodes a v2 snapshot from br, positioned at the magic; ctx is
+// checked after every section read.
+func loadV2(ctx context.Context, br *bufio.Reader, opts LoadOptions) (*Cube, error) {
 	if _, err := br.Discard(len(magicV2)); err != nil {
 		return nil, err
 	}
@@ -561,6 +672,10 @@ func loadV2(br *bufio.Reader, opts LoadOptions) (*Cube, error) {
 		return nil, err
 	}
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
 	// Hierarchies.
 	kind, payload, err = sectionPayload(br)
 	if err != nil {
@@ -588,6 +703,10 @@ func loadV2(br *bufio.Reader, opts LoadOptions) (*Cube, error) {
 	}
 	schema, err := pathdb.NewSchema(location, dims...)
 	if err != nil {
+		return nil, err
+	}
+
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 
@@ -663,9 +782,15 @@ func loadV2(br *bufio.Reader, opts LoadOptions) (*Cube, error) {
 		return nil, err
 	}
 
-	// Cuboid sections: collect payloads, then decode them on workers.
+	// Cuboid sections (then an optional ledger section): collect payloads,
+	// then decode the cuboids on workers.
 	var cuboidPayloads [][]byte
+	var ledgerPayload []byte
+	haveLedger := false
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		kind, payload, err = sectionPayload(br)
 		if err != nil {
 			return nil, err
@@ -673,8 +798,19 @@ func loadV2(br *bufio.Reader, opts LoadOptions) (*Cube, error) {
 		if kind == secEnd {
 			break
 		}
+		if kind == secLedger {
+			if haveLedger {
+				return nil, (&byteReader{section: "frame"}).corrupt("duplicate ledger section")
+			}
+			haveLedger = true
+			ledgerPayload = payload
+			continue
+		}
 		if kind != secCuboid {
 			return nil, (&byteReader{section: "frame"}).corrupt("unknown section kind %d", kind)
+		}
+		if haveLedger {
+			return nil, (&byteReader{section: "frame"}).corrupt("cuboid section after the ledger section")
 		}
 		if uint64(len(cuboidPayloads)) >= numCuboids {
 			return nil, (&byteReader{section: "frame"}).corrupt(
@@ -707,6 +843,14 @@ func loadV2(br *bufio.Reader, opts LoadOptions) (*Cube, error) {
 			return nil, (&byteReader{section: "frame"}).corrupt("duplicate cuboid %s", cb.Spec.Key())
 		}
 		cube.Cuboids[cb.Spec.Key()] = cb
+	}
+	if haveLedger {
+		ledger, err := decodeLedgerV2(ledgerPayload, numDims)
+		if err != nil {
+			return nil, err
+		}
+		cube.ledger = ledger
+		cube.Config.DeltaLedger = true
 	}
 	return cube, nil
 }

@@ -158,6 +158,12 @@ func (g *Graph) Paths() int64 { return g.paths }
 // Exceptions returns the mined exception set X.
 func (g *Graph) Exceptions() []Exception { return g.exceptions }
 
+// ClearExceptions drops the mined exception set, leaving the tree and its
+// distributions intact. Delta maintenance clears a touched cell's
+// exceptions before re-mining them over the union paths, since
+// MineExceptionsFor appends to the existing set.
+func (g *Graph) ClearExceptions() { g.exceptions = nil }
+
 // AddPath aggregates the raw path to the graph's level and folds it in.
 func (g *Graph) AddPath(p pathdb.Path) {
 	g.addAggregated(pathdb.AggregatePath(p, g.level, g.merge))

@@ -1,0 +1,298 @@
+package incr
+
+// Delta application: the writes to core.Cube state live in this file, which
+// internal/lint's immutcube analyzer allowlists as a legitimate build-phase
+// writer — ApplyDelta mutates only cubes the caller owns exclusively (a
+// fresh build, or a core.Cube.Clone made to be patched; see the server's
+// append path).
+
+import (
+	"sort"
+
+	"flowcube/internal/core"
+	"flowcube/internal/flowgraph"
+	"flowcube/internal/pathdb"
+)
+
+// ApplyDelta appends a batch of records to the cube and its database,
+// updating only the affected state. On success db holds the union database
+// (base records followed by the batch) and the cube is exactly what a full
+// Build over that union with the same configuration would produce — byte
+// identical under Save.
+//
+// The batch is validated atomically up front: any invalid record rejects
+// the whole call with a *BatchError before anything changes. The cube must
+// carry an absolute iceberg threshold (Config.MinCount > 0) and no
+// MiningOptions override; see the package comment for why.
+//
+// ApplyDelta must not run concurrently with readers of cube, db, or the
+// cube's symbol table. Long-lived servers should patch a Clone and swap
+// snapshots (internal/server does).
+func ApplyDelta(cube *core.Cube, db *pathdb.DB, batch []pathdb.Record) (*Stats, error) {
+	if cube == nil {
+		return nil, ErrNilCube
+	}
+	if db == nil {
+		return nil, ErrNilDB
+	}
+	cfg := cube.Config
+	if cfg.MinCount <= 0 {
+		return nil, ErrAbsoluteMinCount
+	}
+	if cfg.MiningOptions != nil {
+		return nil, ErrCustomMining
+	}
+	if !schemaCompatible(db.Schema, cube.Schema) {
+		return nil, ErrSchemaMismatch
+	}
+	for i := range batch {
+		if err := db.Schema.ValidateRecord(batch[i]); err != nil {
+			return nil, &BatchError{Index: i, Err: err}
+		}
+	}
+	stats := &Stats{BatchRecords: len(batch), LedgerSize: cube.Ledger().Size()}
+	if len(batch) == 0 {
+		return stats, nil
+	}
+
+	minCount := cube.MinCount()
+	baseLen := db.Len()
+
+	// Exception re-mining needs every touched cell's full record set; cubes
+	// loaded from snapshots carry no tids, so recover them once from the
+	// base database (before the batch lands in it).
+	if cfg.MineExceptions && tidsMissing(cube) {
+		cube.RebuildTIDs(db)
+	}
+	haveTids := !tidsMissing(cube)
+
+	// Batch combo accounting: every (item level, values) combination a
+	// batch record maps to either hits an existing cell — the assignment
+	// pass below handles those — or is an admission candidate.
+	levels := cube.ItemLevels()
+	reps := representativeCuboids(cube, levels)
+	candidates := make(map[int]map[string]*combo)
+	var candOrder []*combo
+	for i := range batch {
+		tid := int32(baseLen + i)
+		for li := range levels {
+			if reps[li] == nil {
+				continue
+			}
+			values := valuesAt(db.Schema, levels[li], batch[i].Dims)
+			ck := core.CellKey(values)
+			if _, exists := reps[li].Cells[ck]; exists {
+				continue
+			}
+			if candidates[li] == nil {
+				candidates[li] = make(map[string]*combo)
+			}
+			c := candidates[li][ck]
+			if c == nil {
+				c = &combo{levelIdx: li, values: values}
+				candidates[li][ck] = c
+				candOrder = append(candOrder, c)
+			}
+			c.count++
+			c.tids = append(c.tids, tid)
+		}
+	}
+
+	// Admission: a candidate crosses δ when its base count — from the sub-δ
+	// ledger, or from one restricted base scan when the cube carries none —
+	// plus its batch count reaches the threshold. The ledger is maintained
+	// exactly: combinations still below δ are bumped, admitted ones leave it.
+	var admitted []*combo
+	ledger := cube.Ledger()
+	if len(candOrder) > 0 && ledger == nil {
+		scanBase(db, baseLen, levels, candidates)
+	}
+	needBaseTids := make(map[int]map[string]*combo)
+	for _, c := range candOrder {
+		var base int64
+		if ledger != nil {
+			base = ledger.Count(levels[c.levelIdx], c.values)
+		} else {
+			base = int64(len(c.baseTids))
+		}
+		if base+c.count >= minCount {
+			admitted = append(admitted, c)
+			if ledger != nil {
+				ledger.Remove(levels[c.levelIdx], c.values)
+				if base > 0 {
+					if needBaseTids[c.levelIdx] == nil {
+						needBaseTids[c.levelIdx] = make(map[string]*combo)
+					}
+					needBaseTids[c.levelIdx][core.CellKey(c.values)] = c
+				}
+			}
+		} else if ledger != nil {
+			ledger.Bump(levels[c.levelIdx], c.values, c.count)
+		}
+	}
+	// With a ledger, admitted combos with base occurrences still need their
+	// base record ids for flowgraph construction: one scan restricted to
+	// exactly those combinations.
+	scanBase(db, baseLen, levels, needBaseTids)
+
+	// The batch lands in the database: db is the union from here on.
+	for i := range batch {
+		if err := db.Append(batch[i]); err != nil {
+			return nil, &BatchError{Index: i, Err: err}
+		}
+	}
+	// Intern the batch's items in record order, mirroring a full build's
+	// encode pass: item ids — and therefore mined-itemset order, and
+	// therefore exception pin order — match the full build exactly.
+	for i := baseLen; i < db.Len(); i++ {
+		cube.Symbols.EncodeRecord(db.Records[i])
+	}
+
+	type touchedCell struct {
+		cuboid *core.Cuboid
+		cell   *core.Cell
+	}
+	var touched []touchedCell
+
+	// Touched existing cells: route the appended range through the same
+	// packed-key assignment plan the populate scan uses, then fold the new
+	// paths into each hit cell's flowgraph.
+	assignments := cube.AssignRange(db, baseLen, db.Len())
+	pathLevels := cube.Symbols.PathLevels()
+	for _, a := range assignments {
+		a.Cell.Count += int64(len(a.TIDs))
+		if haveTids {
+			a.Cell.SetTIDs(append(a.Cell.TIDs(), a.TIDs...))
+		}
+		if a.Cell.Graph != nil {
+			for _, tid := range a.TIDs {
+				a.Cell.Graph.AddPath(db.Records[tid].Path)
+			}
+			if !cfg.MineExceptions {
+				// The cube's configuration mines no exceptions, so a
+				// freshly built union cube has none; drop any stale set a
+				// loaded snapshot carried into the touched cell.
+				a.Cell.Graph.ClearExceptions()
+			}
+		}
+		touched = append(touched, touchedCell{a.Cuboid, a.Cell})
+	}
+	stats.CellsTouched = len(assignments)
+
+	// Admitted cells: register in every cuboid sharing the item level (as
+	// the build phase does for mined frequent cells) and build their
+	// flowgraphs from the union record set.
+	cuboidKeys := make([]string, 0, len(cube.Cuboids))
+	for k := range cube.Cuboids {
+		cuboidKeys = append(cuboidKeys, k)
+	}
+	sort.Strings(cuboidKeys)
+	for _, c := range admitted {
+		il := levels[c.levelIdx]
+		tids := append(append([]int32(nil), c.baseTids...), c.tids...)
+		cube.AdmitCell(il, c.values, int64(len(tids)))
+		ilKey := il.Key()
+		ck := core.CellKey(c.values)
+		for _, key := range cuboidKeys {
+			cb := cube.Cuboids[key]
+			if cb.Spec.Item.Key() != ilKey {
+				continue
+			}
+			cell := cb.Cells[ck]
+			if cell == nil {
+				continue
+			}
+			if haveTids {
+				cell.SetTIDs(append([]int32(nil), tids...))
+			}
+			pl := pathLevels[cb.Spec.PathLevel]
+			g := flowgraph.New(db.Schema.Location, pl, cfg.Merge)
+			for _, tid := range tids {
+				g.AddPath(db.Records[tid].Path)
+			}
+			cell.Graph = g
+			touched = append(touched, touchedCell{cb, cell})
+			stats.CellsAdmitted++
+		}
+	}
+
+	// Exceptions: recompute exactly, per touched cell, over its union
+	// records — replacing the old set (MineExceptions replaces; without the
+	// single-stage pass the set is cleared first since MineExceptionsFor
+	// appends). Conditions are re-derived by in-cell mining (cellConds).
+	if cfg.MineExceptions {
+		for _, t := range touched {
+			cell := t.cell
+			if cell.Graph == nil {
+				continue
+			}
+			tids := cell.TIDs()
+			paths := make([]pathdb.Path, len(tids))
+			for k, tid := range tids {
+				paths[k] = db.Records[tid].Path
+			}
+			if cfg.SingleStageExceptions {
+				cell.Graph.MineExceptions(paths, cfg.Epsilon, minCount)
+			} else {
+				cell.Graph.ClearExceptions()
+			}
+			conds, err := cellConds(cube, db, t.cuboid.Spec.PathLevel, tids)
+			if err != nil {
+				return nil, err
+			}
+			if len(conds) > 0 {
+				cell.Graph.MineExceptionsFor(paths, conds, cfg.Epsilon, minCount)
+			}
+			stats.ExceptionsRemined++
+		}
+	}
+
+	// Redundancy frontier: every touched or admitted cell, plus every cell
+	// with one of them as an item-lattice parent, is re-marked against the
+	// current lattice. Markings read only other cells' graphs — all final
+	// by now — so the re-mark order is irrelevant.
+	if cfg.Tau > 0 {
+		touchedIDs := make(map[string]bool, len(touched))
+		for _, t := range touched {
+			touchedIDs[t.cuboid.Spec.Key()+"|"+core.CellKey(t.cell.Values)] = true
+		}
+		for _, key := range cuboidKeys {
+			cb := cube.Cuboids[key]
+			for _, cell := range cb.SortedCells() {
+				need := touchedIDs[cb.Spec.Key()+"|"+core.CellKey(cell.Values)]
+				if !need {
+					for _, p := range cube.ParentRefs(cb.Spec, cell.Values) {
+						if touchedIDs[p.Spec.Key()+"|"+core.CellKey(p.Values)] {
+							need = true
+							break
+						}
+					}
+				}
+				if need {
+					cube.MarkCellRedundancy(cb.Spec, cell, cfg.Tau)
+					stats.RedundancyRemarked++
+				}
+			}
+		}
+	}
+
+	stats.LedgerSize = cube.Ledger().Size()
+	return stats, nil
+}
+
+// representativeCuboids picks, per item level, one materialized cuboid to
+// answer cell-existence checks (every cuboid sharing an item level holds
+// the same cell set; addCell registers cells in all of them).
+func representativeCuboids(cube *core.Cube, levels []core.ItemLevel) []*core.Cuboid {
+	reps := make([]*core.Cuboid, len(levels))
+	for li, il := range levels {
+		key := il.Key()
+		for _, cb := range cube.Cuboids {
+			if cb.Spec.Item.Key() == key {
+				reps[li] = cb
+				break
+			}
+		}
+	}
+	return reps
+}

@@ -1,0 +1,126 @@
+package incr_test
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"flowcube/internal/core"
+	"flowcube/internal/datagen"
+	"flowcube/internal/hierarchy"
+	"flowcube/internal/incr"
+	"flowcube/internal/pathdb"
+)
+
+// fuzzFixture builds one small base cube per process; every fuzz iteration
+// patches a Clone of it, so iterations are independent.
+var fuzzFixture struct {
+	once sync.Once
+	ds   *datagen.Dataset
+	cube *core.Cube
+	err  error
+}
+
+func fuzzBase(t testing.TB) (*datagen.Dataset, *core.Cube) {
+	fuzzFixture.once.Do(func() {
+		cfg := datagen.Default()
+		cfg.Seed = 41
+		cfg.NumPaths = 60
+		cfg.NumDims = 1
+		cfg.DimFanouts = [3]int{2, 2, 3}
+		fuzzFixture.ds = datagen.MustGenerate(cfg)
+		fuzzFixture.cube, fuzzFixture.err = core.Build(fuzzFixture.ds.DB, core.Config{
+			MinCount: 3, Tau: 0.5, Plan: fuzzFixture.ds.DefaultPlan(), DeltaLedger: true,
+		})
+	})
+	if fuzzFixture.err != nil {
+		t.Fatal(fuzzFixture.err)
+	}
+	return fuzzFixture.ds, fuzzFixture.cube
+}
+
+// decodeBatch turns fuzz bytes into an arbitrary batch — including records
+// with out-of-range dimension values or locations, negative durations,
+// empty paths, and duplicates. Validity is exactly what ApplyDelta must
+// decide; the decoder only shapes bytes into records.
+func decodeBatch(data []byte, dims int) []pathdb.Record {
+	if len(data) == 0 {
+		return nil
+	}
+	n := int(data[0] % 8)
+	data = data[1:]
+	next := func() byte {
+		if len(data) == 0 {
+			return 0
+		}
+		b := data[0]
+		data = data[1:]
+		return b
+	}
+	batch := make([]pathdb.Record, 0, n)
+	for i := 0; i < n; i++ {
+		rec := pathdb.Record{}
+		nd := dims
+		if next()%5 == 0 {
+			nd = int(next() % 4) // wrong arity on purpose
+		}
+		for d := 0; d < nd; d++ {
+			rec.Dims = append(rec.Dims, int32ToNodeID(next()))
+		}
+		steps := int(next() % 5) // 0 = empty path on purpose
+		for sIdx := 0; sIdx < steps; sIdx++ {
+			rec.Path = append(rec.Path, pathdb.Stage{
+				Location: int32ToNodeID(next()),
+				Duration: int64(int8(next())), // negative durations on purpose
+			})
+		}
+		batch = append(batch, rec)
+		if next()%4 == 0 && len(batch) > 0 {
+			batch = append(batch, batch[len(batch)-1]) // duplicate
+		}
+	}
+	return batch
+}
+
+func int32ToNodeID(b byte) hierarchy.NodeID { return hierarchy.NodeID(int8(b)) }
+
+// FuzzApplyDelta asserts ApplyDelta never panics on arbitrary batches —
+// corrupt, duplicate, or empty — and that every failure is a typed error.
+// Successful applications must leave the cube structurally valid.
+func FuzzApplyDelta(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{3, 0, 1, 2, 0, 5, 1, 1, 2, 3})
+	f.Add([]byte{7, 250, 0, 0, 200, 200, 9, 9, 9, 9, 9, 1, 2, 3, 4, 5, 6, 7, 8})
+	ds, base := fuzzBase(f)
+	baseRecords := append([]pathdb.Record(nil), ds.DB.Records...)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rawBatch := decodeBatch(data, len(ds.Schema.Dims))
+		batch := make([]pathdb.Record, len(rawBatch))
+		copy(batch, rawBatch)
+		cube := base.Clone()
+		db := &pathdb.DB{Schema: ds.Schema, Records: append([]pathdb.Record(nil), baseRecords...)}
+		stats, err := incr.ApplyDelta(cube, db, batch)
+		if err != nil {
+			var be *incr.BatchError
+			if !errors.As(err, &be) &&
+				!errors.Is(err, incr.ErrNilCube) &&
+				!errors.Is(err, incr.ErrNilDB) &&
+				!errors.Is(err, incr.ErrAbsoluteMinCount) &&
+				!errors.Is(err, incr.ErrCustomMining) &&
+				!errors.Is(err, incr.ErrSchemaMismatch) {
+				t.Fatalf("untyped error: %v", err)
+			}
+			if db.Len() != len(baseRecords) {
+				t.Fatalf("failed delta still appended records: %d -> %d", len(baseRecords), db.Len())
+			}
+			return
+		}
+		if stats.BatchRecords != len(batch) {
+			t.Fatalf("stats.BatchRecords = %d, want %d", stats.BatchRecords, len(batch))
+		}
+		if err := cube.Validate(); err != nil {
+			t.Fatalf("cube invalid after delta: %v", err)
+		}
+	})
+}

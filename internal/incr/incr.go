@@ -1,0 +1,245 @@
+// Package incr maintains a materialized flowcube under streaming appends
+// (DESIGN.md §9). The paper builds its flowcubes once over a static path
+// database and defers incremental update to future work (§7); this package
+// supplies that delta-maintenance step: ApplyDelta takes a cube, the
+// database it was built over, and a batch of new records, and updates only
+// the affected state — the touched cells' counts, flowgraphs, exceptions
+// and redundancy frontier, plus any sub-δ combination the batch pushes over
+// the iceberg threshold.
+//
+// Delta application is exact: applying a batch and saving the cube yields
+// the same snapshot bytes as a full Build over the union database with the
+// same configuration. That holds because, with an absolute iceberg
+// threshold, appends move every support monotonically upward — untouched
+// cells are provably unchanged, and everything a batch can change is
+// reachable from the batch's own records: the cells they land in (by the
+// same packed-key assignment the populate scan uses), the below-threshold
+// combinations they push over δ (decided by the sub-δ ledger carried in
+// the cube, or one restricted base scan without it), and the item-lattice
+// children of those cells for redundancy re-marking.
+//
+// Exactness therefore requires the cube's configuration to be
+// N-independent: an absolute Config.MinCount (a fractional MinSupport
+// re-resolves against the grown database, silently changing δ) and no
+// MiningOptions override (a candidate limit or length cap makes the
+// frequent-set collection scan-order dependent). ApplyDelta rejects both
+// with typed errors.
+package incr
+
+import (
+	"errors"
+	"fmt"
+
+	"flowcube/internal/core"
+	"flowcube/internal/flowgraph"
+	"flowcube/internal/hierarchy"
+	"flowcube/internal/mining"
+	"flowcube/internal/pathdb"
+	"flowcube/internal/transact"
+)
+
+// Typed failures, testable with errors.Is / errors.As.
+var (
+	// ErrNilCube reports a nil cube argument.
+	ErrNilCube = errors.New("incr: nil cube")
+	// ErrNilDB reports a nil database argument.
+	ErrNilDB = errors.New("incr: nil database")
+	// ErrAbsoluteMinCount reports a cube built with a fractional iceberg
+	// threshold: delta maintenance requires Config.MinCount > 0, because a
+	// fractional MinSupport re-resolves against the grown database and
+	// silently changes δ — exactness against a full rebuild is impossible.
+	ErrAbsoluteMinCount = errors.New("incr: delta maintenance requires an absolute Config.MinCount")
+	// ErrCustomMining reports a cube built with a MiningOptions override;
+	// candidate limits and length caps make the frequent-set collection
+	// depend on scan order, which delta maintenance cannot reproduce.
+	ErrCustomMining = errors.New("incr: delta maintenance does not support Config.MiningOptions overrides")
+	// ErrSchemaMismatch reports a database whose schema is not the one the
+	// cube was built over.
+	ErrSchemaMismatch = errors.New("incr: database schema does not match the cube's")
+)
+
+// BatchError reports one invalid record in an append batch. The batch is
+// rejected atomically: no cube or database state changes before every
+// record validates.
+type BatchError struct {
+	// Index is the offending record's position in the batch.
+	Index int
+	// Err is the underlying validation failure.
+	Err error
+}
+
+func (e *BatchError) Error() string {
+	return fmt.Sprintf("incr: batch record %d: %v", e.Index, e.Err)
+}
+
+func (e *BatchError) Unwrap() error { return e.Err }
+
+// Stats reports what one ApplyDelta call did.
+type Stats struct {
+	// BatchRecords is the number of records appended.
+	BatchRecords int `json:"batch_records"`
+	// CellsTouched is the number of existing materialized (cuboid, cell)
+	// entries the batch landed in.
+	CellsTouched int `json:"cells_touched"`
+	// CellsAdmitted is the number of newly materialized (cuboid, cell)
+	// entries: sub-δ combinations the batch pushed over the iceberg
+	// threshold, registered in every cuboid sharing their item level.
+	CellsAdmitted int `json:"cells_admitted"`
+	// ExceptionsRemined is the number of cells whose exception set was
+	// recomputed (0 unless the cube was built with MineExceptions).
+	ExceptionsRemined int `json:"exceptions_remined"`
+	// RedundancyRemarked is the number of cells re-marked for redundancy
+	// (touched cells plus their item-lattice children; 0 unless Tau > 0).
+	RedundancyRemarked int `json:"redundancy_remarked"`
+	// LedgerSize is the number of sub-δ ledger entries after the delta
+	// (0 when the cube carries no ledger).
+	LedgerSize int `json:"ledger_size"`
+}
+
+// combo accumulates one below-threshold (item level, values) combination
+// observed in a batch.
+type combo struct {
+	levelIdx int
+	values   []hierarchy.NodeID
+	count    int64
+	tids     []int32 // batch record ids, ascending
+	baseTids []int32 // base record ids, ascending (filled by scanBase)
+}
+
+// valuesAt computes a record's per-dimension values at an item level.
+func valuesAt(schema *pathdb.Schema, il core.ItemLevel, dims []hierarchy.NodeID) []hierarchy.NodeID {
+	values := make([]hierarchy.NodeID, len(il))
+	for d, l := range il {
+		if l == 0 {
+			values[d] = hierarchy.Root
+		} else {
+			values[d] = schema.Dims[d].AncestorAt(dims[d], l)
+		}
+	}
+	return values
+}
+
+// scanBase walks the base records once and appends the id of every record
+// matching a wanted combination. wanted maps item-level index → cell key →
+// combo.
+func scanBase(db *pathdb.DB, baseLen int, levels []core.ItemLevel, wanted map[int]map[string]*combo) {
+	if len(wanted) == 0 {
+		return
+	}
+	var lis []int
+	for li := range wanted {
+		lis = append(lis, li)
+	}
+	sortInts(lis)
+	values := make([][]hierarchy.NodeID, len(levels))
+	for _, li := range lis {
+		values[li] = make([]hierarchy.NodeID, len(levels[li]))
+	}
+	for tid := 0; tid < baseLen; tid++ {
+		rec := &db.Records[tid]
+		for _, li := range lis {
+			il := levels[li]
+			vals := values[li]
+			for d, l := range il {
+				if l == 0 {
+					vals[d] = hierarchy.Root
+				} else {
+					vals[d] = db.Schema.Dims[d].AncestorAt(rec.Dims[d], l)
+				}
+			}
+			if c := wanted[li][core.CellKey(vals)]; c != nil {
+				c.baseTids = append(c.baseTids, int32(tid))
+			}
+		}
+	}
+}
+
+func sortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// cellConds re-derives one cell's exception conditions: the frequent
+// same-level path segments among the cell's records, exactly as a full
+// build finds them as mixed dim+stage itemsets. Mining is restricted to the
+// cell's transactions projected to stage items at the cuboid's path level —
+// a transaction contains the cell's dimension items iff the record belongs
+// to the cell, so in-cell stage supports equal the full build's mixed-set
+// supports. Ancestor and linkability pruning mirror the Shared run (they
+// shape the output set); pre-counting is off because the projected
+// transactions lack the coarser levels it counts against (it is a lossless
+// optimization, so the result set is unchanged).
+//
+// Duration-'*' path levels yield no conditions — every pin would be
+// duration-'*', which stagePins rejects as vacuous — so mining is skipped
+// there entirely.
+func cellConds(cube *core.Cube, db *pathdb.DB, plIdx int, tids []int32) ([][]flowgraph.StagePin, error) {
+	syms := cube.Symbols
+	if syms.PathLevels()[plIdx].Time.Any {
+		return nil, nil
+	}
+	txs := make([]transact.Transaction, len(tids))
+	for i, tid := range tids {
+		full := syms.EncodeStages(db.Records[tid].Path)
+		var t transact.Transaction
+		for _, it := range full {
+			if syms.StageLevel(it) == plIdx {
+				t = append(t, it)
+			}
+		}
+		txs[i] = t
+	}
+	res, err := mining.Mine(syms, txs, mining.Options{
+		MinCount:      cube.MinCount(),
+		PruneAncestor: true,
+		PruneLink:     true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var conds [][]flowgraph.StagePin
+	for _, counted := range res.All() {
+		level, pins, ok := core.StagePins(syms, counted.Set)
+		if !ok || level != plIdx {
+			continue
+		}
+		conds = append(conds, pins)
+	}
+	return conds, nil
+}
+
+// schemaCompatible sanity-checks that a database's schema matches the
+// cube's. Cubes loaded from snapshots reconstruct their schema, so pointer
+// identity is too strict; the check is structural (dimension count and
+// hierarchy sizes) — records of a structurally identical schema use the
+// same node-id space, which is all delta application reads.
+func schemaCompatible(a, b *pathdb.Schema) bool {
+	if a == b {
+		return true
+	}
+	if len(a.Dims) != len(b.Dims) || a.Location.Len() != b.Location.Len() {
+		return false
+	}
+	for i := range a.Dims {
+		if a.Dims[i].Len() != b.Dims[i].Len() {
+			return false
+		}
+	}
+	return true
+}
+
+// tidsMissing reports whether any materialized cell lacks its record-id
+// list (cubes loaded from snapshots do not persist tids).
+func tidsMissing(cube *core.Cube) bool {
+	for _, cb := range cube.Cuboids {
+		for _, cell := range cb.Cells {
+			if cell.Count > 0 && cell.TIDs() == nil {
+				return true
+			}
+		}
+	}
+	return false
+}

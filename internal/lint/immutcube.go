@@ -27,12 +27,23 @@ import (
 // aliased map or a method call is out of static reach and stays on the
 // prose contract.
 
-var immutAllowedFiles = map[string]bool{
-	"build.go":      true,
-	"append.go":     true,
-	"persist.go":    true,
-	"snapshotv2.go": true,
-	"query.go":      true,
+// immutAllowedFiles maps package name → the files within it that may write
+// cube state. Package core's build-phase files define the cube; package
+// incr's delta.go is the delta-maintenance writer (it patches only cubes
+// the caller owns exclusively — a fresh build or a Clone; see
+// internal/incr).
+var immutAllowedFiles = map[string]map[string]bool{
+	"core": {
+		"build.go":      true,
+		"append.go":     true,
+		"delta.go":      true,
+		"persist.go":    true,
+		"snapshotv2.go": true,
+		"query.go":      true,
+	},
+	"incr": {
+		"delta.go": true,
+	},
 }
 
 var immutTypes = map[string]bool{
@@ -52,8 +63,8 @@ var ImmutCube = &Analyzer{
 func runImmutCube(pass *Pass) []Diagnostic {
 	var diags []Diagnostic
 	for _, file := range pass.Files {
-		// The defining package's designated mutation files may write.
-		if pass.Pkg.Name() == "core" && immutAllowedFiles[pass.Filename(file.Pos())] {
+		// Designated mutation files may write.
+		if immutAllowedFiles[pass.Pkg.Name()][pass.Filename(file.Pos())] {
 			continue
 		}
 		ast.Inspect(file, func(n ast.Node) bool {

@@ -93,28 +93,40 @@ func New(schema *Schema) *DB {
 
 // Append validates a record against the schema and adds it.
 func (db *DB) Append(r Record) error {
-	if len(r.Dims) != len(db.Schema.Dims) {
+	if err := db.Schema.ValidateRecord(r); err != nil {
+		return err
+	}
+	db.Records = append(db.Records, r)
+	return nil
+}
+
+// ValidateRecord checks a record against the schema without storing it:
+// dimension value arity and ranges, a non-empty path, location ranges, and
+// non-negative durations. Batch ingestion (incr.ApplyDelta) validates whole
+// batches up front with it so a bad record rejects the batch before any
+// state changes.
+func (s *Schema) ValidateRecord(r Record) error {
+	if len(r.Dims) != len(s.Dims) {
 		return fmt.Errorf("pathdb: record has %d dimension values, schema has %d",
-			len(r.Dims), len(db.Schema.Dims))
+			len(r.Dims), len(s.Dims))
 	}
 	for i, v := range r.Dims {
-		if int(v) < 0 || int(v) >= db.Schema.Dims[i].Len() {
+		if int(v) < 0 || int(v) >= s.Dims[i].Len() {
 			return fmt.Errorf("pathdb: dimension %q value %d out of range",
-				db.Schema.Dims[i].Dimension(), v)
+				s.Dims[i].Dimension(), v)
 		}
 	}
 	if len(r.Path) == 0 {
 		return fmt.Errorf("pathdb: record has an empty path")
 	}
 	for _, st := range r.Path {
-		if int(st.Location) < 0 || int(st.Location) >= db.Schema.Location.Len() {
+		if int(st.Location) < 0 || int(st.Location) >= s.Location.Len() {
 			return fmt.Errorf("pathdb: location %d out of range", st.Location)
 		}
 		if st.Duration < 0 {
 			return fmt.Errorf("pathdb: negative stage duration %d", st.Duration)
 		}
 	}
-	db.Records = append(db.Records, r)
 	return nil
 }
 

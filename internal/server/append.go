@@ -1,0 +1,99 @@
+package server
+
+// POST /admin/append: streaming appends into the serving cube. The handler
+// never edits the live snapshot — it clones the cube and the database,
+// delta-maintains the clone with incr.ApplyDelta (exact against a full
+// rebuild over the union), and swaps the snapshot pointer atomically, so
+// in-flight readers finish against the snapshot they started with.
+
+import (
+	"errors"
+	"net/http"
+	"time"
+
+	"flowcube/internal/incr"
+	"flowcube/internal/pathdb"
+)
+
+// maxAppendBody bounds an append request body.
+const maxAppendBody = 64 << 20
+
+// handleAppend parses the body as path-database text records (one
+// `dim,...|loc:dur ...` line each, against the serving schema), applies
+// them as a delta, and swaps in the patched snapshot. Appends single-flight
+// with reloads under adminMu.
+func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
+	// Parse the body before taking adminMu: reading the request is network
+	// I/O paced by the client, and a slow peer must not stall reloads or
+	// other appends. The schema is fixed per source, so parsing against the
+	// pre-lock snapshot is safe; a mid-flight swap would surface as a
+	// *BatchError from ApplyDelta below.
+	snap := s.holder.get()
+	if snap.DB == nil {
+		writeError(w, &httpError{http.StatusConflict,
+			"serving snapshot has no path database (loaded from a saved cube); append needs a database-backed snapshot"})
+		return
+	}
+	batchDB, err := pathdb.Read(http.MaxBytesReader(w, r.Body, maxAppendBody), snap.DB.Schema)
+	if err != nil {
+		writeError(w, &httpError{http.StatusBadRequest, err.Error()})
+		return
+	}
+	if batchDB.Len() == 0 {
+		writeError(w, &httpError{http.StatusBadRequest,
+			"empty batch: body must hold at least one record line (dim,...|loc:dur ...)"})
+		return
+	}
+
+	s.adminMu.Lock()
+	defer s.adminMu.Unlock()
+
+	// Re-fetch under the lock: a reload may have swapped the snapshot while
+	// the body was streaming in.
+	snap = s.holder.get()
+	if snap.DB == nil {
+		writeError(w, &httpError{http.StatusConflict,
+			"serving snapshot has no path database (loaded from a saved cube); append needs a database-backed snapshot"})
+		return
+	}
+
+	cube := snap.Cube.Clone()
+	db := &pathdb.DB{Schema: snap.DB.Schema, Records: append([]pathdb.Record(nil), snap.DB.Records...)}
+	start := time.Now()
+	stats, err := incr.ApplyDelta(cube, db, batchDB.Records)
+	if err != nil {
+		writeError(w, appendError(err))
+		return
+	}
+	elapsed := time.Since(start)
+
+	next := newSnapshot(cube, snap.Source, s.cfg.CacheSize, elapsed, snap.Bytes)
+	next.DB = db
+	s.holder.set(next)
+	s.metrics.recordAppend(elapsed, stats)
+	s.logger.Printf("appended %d records: %d cells touched, %d admitted in %s",
+		stats.BatchRecords, stats.CellsTouched, stats.CellsAdmitted, elapsed.Round(time.Microsecond))
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "appended",
+		"records":  stats.BatchRecords,
+		"delta_ms": float64(elapsed.Nanoseconds()) / 1e6,
+		"stats":    stats,
+		"cells":    cube.NumCells(),
+	})
+}
+
+// appendError maps delta-maintenance failures to HTTP statuses: bad batch
+// records are the client's fault (400); a cube whose configuration cannot
+// be delta-maintained is a state conflict (409).
+func appendError(err error) error {
+	var be *incr.BatchError
+	switch {
+	case errors.As(err, &be):
+		return &httpError{http.StatusBadRequest, err.Error()}
+	case errors.Is(err, incr.ErrAbsoluteMinCount),
+		errors.Is(err, incr.ErrCustomMining),
+		errors.Is(err, incr.ErrSchemaMismatch):
+		return &httpError{http.StatusConflict, err.Error()}
+	}
+	return err
+}

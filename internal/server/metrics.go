@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"flowcube/internal/incr"
 )
 
 // Serving metrics, stdlib only: per-route request counts, error counts and
@@ -35,8 +37,23 @@ type metrics struct {
 	cacheMisses atomic.Int64
 	reloads     atomic.Int64
 
+	// Streaming-append gauges: total appends plus the last delta's cost and
+	// touch footprint (POST /admin/append).
+	appends           atomic.Int64
+	lastDeltaNs       atomic.Int64
+	lastCellsTouched  atomic.Int64
+	lastCellsAdmitted atomic.Int64
+
 	mu     sync.Mutex
 	routes map[string]*routeStats
+}
+
+// recordAppend stores one append's counters.
+func (m *metrics) recordAppend(d time.Duration, stats *incr.Stats) {
+	m.appends.Add(1)
+	m.lastDeltaNs.Store(d.Nanoseconds())
+	m.lastCellsTouched.Store(int64(stats.CellsTouched))
+	m.lastCellsAdmitted.Store(int64(stats.CellsAdmitted))
 }
 
 func newMetrics() *metrics {
@@ -116,10 +133,20 @@ type SnapshotMetrics struct {
 	LoadedAt string  `json:"loaded_at"`
 }
 
+// AppendMetrics are the streaming-append counters: how many deltas have
+// been applied and what the most recent one cost.
+type AppendMetrics struct {
+	Count             int64   `json:"count"`
+	LastDeltaMs       float64 `json:"last_delta_ms"`
+	LastCellsTouched  int64   `json:"last_cells_touched"`
+	LastCellsAdmitted int64   `json:"last_cells_admitted"`
+}
+
 // MetricsSnapshot is the GET /metrics response body.
 type MetricsSnapshot struct {
 	UptimeSeconds float64                 `json:"uptime_seconds"`
 	Reloads       int64                   `json:"reloads"`
+	Appends       AppendMetrics           `json:"appends"`
 	Snapshot      SnapshotMetrics         `json:"snapshot"`
 	Cache         CacheMetrics            `json:"cache"`
 	Routes        map[string]RouteMetrics `json:"routes"`
@@ -130,7 +157,13 @@ func (m *metrics) snapshot() MetricsSnapshot {
 	out := MetricsSnapshot{
 		UptimeSeconds: time.Since(m.start).Seconds(),
 		Reloads:       m.reloads.Load(),
-		Routes:        make(map[string]RouteMetrics),
+		Appends: AppendMetrics{
+			Count:             m.appends.Load(),
+			LastDeltaMs:       float64(m.lastDeltaNs.Load()) / 1e6,
+			LastCellsTouched:  m.lastCellsTouched.Load(),
+			LastCellsAdmitted: m.lastCellsAdmitted.Load(),
+		},
+		Routes: make(map[string]RouteMetrics),
 	}
 	hits, misses := m.cacheHits.Load(), m.cacheMisses.Load()
 	out.Cache = CacheMetrics{Hits: hits, Misses: misses}

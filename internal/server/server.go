@@ -13,6 +13,8 @@
 //	GET  /healthz         liveness plus snapshot identity
 //	GET  /metrics         request counts, latency histograms, cache ratio
 //	POST /admin/reload    re-run the loader and atomically swap the snapshot
+//	POST /admin/append    delta-maintain the cube with new records
+//	     (incr.ApplyDelta on a clone, then an atomic snapshot swap)
 //
 // The cube is held behind an RWMutex-guarded snapshot pointer; queries are
 // answered through a per-snapshot LRU response cache with single-flight
@@ -29,6 +31,7 @@ import (
 	"net"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
 	"flowcube/internal/core"
@@ -62,6 +65,10 @@ type Server struct {
 	metrics *metrics
 	logger  *log.Logger
 	handler http.Handler
+	// adminMu single-flights the snapshot-producing admin operations
+	// (reload, append): concurrent admins would race to swap and one
+	// delta would be lost.
+	adminMu sync.Mutex
 }
 
 // New loads the initial snapshot through loader and returns a ready server.
@@ -100,7 +107,9 @@ func (s *Server) load() (*Snapshot, error) {
 	if err != nil {
 		return nil, err
 	}
-	return newSnapshot(cube, s.source, s.cfg.CacheSize, time.Since(start), info.Bytes), nil
+	snap := newSnapshot(cube, s.source, s.cfg.CacheSize, time.Since(start), info.Bytes)
+	snap.DB = info.DB
+	return snap, nil
 }
 
 // Snapshot returns the current serving snapshot.
@@ -138,6 +147,7 @@ func (s *Server) routes() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("POST /admin/reload", s.handleReload)
+	mux.HandleFunc("POST /admin/append", s.handleAppend)
 	return s.instrument(mux)
 }
 
@@ -326,8 +336,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 // handleReload re-runs the loader and swaps the serving snapshot. In-flight
 // queries keep the snapshot (and cache) they started with; the swap is a
-// single guarded pointer write.
+// single guarded pointer write. Reload discards records appended since the
+// last load: it rebuilds from the loader's source of truth.
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	s.adminMu.Lock()
+	defer s.adminMu.Unlock()
 	snap, err := s.load()
 	if err != nil {
 		writeError(w, fmt.Errorf("reload: %w", err))

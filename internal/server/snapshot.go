@@ -9,6 +9,8 @@ import (
 
 	"flowcube/internal/core"
 	"flowcube/internal/datagen"
+	"flowcube/internal/mining"
+	"flowcube/internal/pathdb"
 )
 
 // Snapshot wraps one immutable materialized cube for serving. The cube is
@@ -21,11 +23,16 @@ type Snapshot struct {
 	Cube     *core.Cube
 	Source   string
 	LoadedAt time.Time
-	// LoadDuration is how long the loader took to produce the cube.
+	// LoadDuration is how long the loader took to produce the cube (or, for
+	// snapshots produced by POST /admin/append, how long the delta took).
 	LoadDuration time.Duration
 	// Bytes is the serialized size of the snapshot's input (the cube or
 	// path-database file), 0 when the loader cannot know it.
 	Bytes int64
+	// DB is the path database the cube was built over, when the loader had
+	// it. Snapshots with a DB accept streaming appends (POST /admin/append);
+	// snapshots loaded from a saved cube alone do not.
+	DB *pathdb.DB
 
 	cache *lru
 }
@@ -66,6 +73,10 @@ type LoadInfo struct {
 	// Bytes is the size of the serialized snapshot input; 0 when unknown
 	// (e.g. a cube built in memory).
 	Bytes int64
+	// DB is the path database the cube was built over; loaders that have it
+	// should return it so the server can serve streaming appends. Nil when
+	// the loader only had a saved cube.
+	DB *pathdb.DB
 }
 
 // Loader produces a fresh cube; it is called once at startup and again on
@@ -118,18 +129,28 @@ func FileLoader(path string, opts BuildOptions) Loader {
 			return nil, LoadInfo{}, fmt.Errorf("server: %s is neither a saved cube (%v) nor a path database (%v)",
 				path, cubeErr, dsErr)
 		}
+		// Resolve the fractional threshold to an absolute δ up front — the
+		// same resolution the miner would apply — so the served cube is
+		// delta-maintainable (incr.ApplyDelta requires an absolute MinCount;
+		// the ledger lets admissions skip base re-scans).
+		minCount, err := mining.ResolveMinCount(mining.Options{MinSupport: opts.MinSupport}, ds.DB.Len())
+		if err != nil {
+			return nil, LoadInfo{}, fmt.Errorf("server: resolve threshold for %s: %w", path, err)
+		}
 		cube, err = core.Build(ds.DB, core.Config{
-			MinSupport:            opts.MinSupport,
+			MinCount:              minCount,
 			Epsilon:               opts.Epsilon,
 			Tau:                   opts.Tau,
 			Plan:                  ds.DefaultPlan(),
 			MineExceptions:        opts.MineExceptions,
 			SingleStageExceptions: opts.MineExceptions,
 			Workers:               opts.Workers,
+			DeltaLedger:           true,
 		})
 		if err != nil {
 			return nil, LoadInfo{}, fmt.Errorf("server: build cube from %s: %w", path, err)
 		}
+		info.DB = ds.DB
 		return cube, info, nil
 	}
 }

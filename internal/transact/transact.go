@@ -119,6 +119,31 @@ type Symbols struct {
 	precountLevel int
 }
 
+// Clone returns an independently mutable copy of the symbol table. Encoding
+// new records interns fresh stage items — a mutation — so delta maintenance
+// clones the table instead of racing readers of the original cube. Interned
+// item entries are immutable once created, so the per-item metadata (seq,
+// ancestors) is shared; only the containers are copied.
+func (s *Symbols) Clone() *Symbols {
+	c := &Symbols{
+		schema:        s.schema,
+		plan:          s.plan,
+		dimLevels:     s.dimLevels,
+		pathLevels:    s.pathLevels,
+		items:         append([]itemInfo(nil), s.items...),
+		byDimVal:      make(map[int64]Item, len(s.byDimVal)),
+		byStage:       make(map[string]Item, len(s.byStage)),
+		precountLevel: s.precountLevel,
+	}
+	for k, v := range s.byDimVal {
+		c.byDimVal[k] = v
+	}
+	for k, v := range s.byStage {
+		c.byStage[k] = v
+	}
+	return c
+}
+
 // NewSymbols builds an empty symbol table for the schema and plan. The plan
 // must contain at least one path level.
 func NewSymbols(schema *pathdb.Schema, plan Plan) (*Symbols, error) {

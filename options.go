@@ -1,0 +1,121 @@
+package flowcube
+
+// The v2 construction API: context-aware entry points, functional
+// configuration options, typed errors, and incremental (delta) cube
+// maintenance. The original Build / LoadCube / Config literal forms remain
+// the thin, canonical core; everything here composes on top of them.
+
+import (
+	"context"
+	"io"
+
+	"flowcube/internal/core"
+	"flowcube/internal/incr"
+)
+
+// Typed errors, re-exported for errors.Is / errors.As against root-package
+// results.
+type (
+	// ConfigError reports an invalid Config field; returned (wrapped) by
+	// Build, BuildContext, and NewConfig.
+	ConfigError = core.ConfigError
+	// CorruptSnapshotError reports a structurally invalid cube snapshot;
+	// returned (wrapped) by LoadCube and LoadCubeContext.
+	CorruptSnapshotError = core.CorruptSnapshotError
+)
+
+// ErrCellNotFound is wrapped by (*Cube).ResolveGraph when neither the
+// requested cell nor any materialized ancestor exists.
+var ErrCellNotFound = core.ErrCellNotFound
+
+// BuildContext is Build with cancellation: ctx is checked between pipeline
+// phases (encode/mine, populate, ledger, exceptions, redundancy), so a
+// cancelled build returns ctx.Err() without finishing the remaining phases.
+func BuildContext(ctx context.Context, db *DB, cfg Config) (*Cube, error) {
+	return core.BuildContext(ctx, db, cfg)
+}
+
+// LoadCubeContext is LoadCube with cancellation: ctx is checked between
+// snapshot sections, so loading a large cube can be abandoned early.
+func LoadCubeContext(ctx context.Context, r io.Reader) (*Cube, error) {
+	return core.LoadContext(ctx, r)
+}
+
+// Option is one functional configuration setting for NewConfig.
+type Option func(*Config)
+
+// NewConfig assembles a validated Config from the materialization plan and
+// options. It returns a *ConfigError (wrapped) when the resulting
+// configuration is invalid — callers get the failure at construction time
+// instead of from Build.
+func NewConfig(plan Plan, opts ...Option) (Config, error) {
+	cfg := Config{Plan: plan}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if err := cfg.Validate(); err != nil {
+		return Config{}, err
+	}
+	return cfg, nil
+}
+
+// WithWorkers sets the build parallelism (0 = GOMAXPROCS).
+func WithWorkers(n int) Option { return func(c *Config) { c.Workers = n } }
+
+// WithMinSupport sets a fractional iceberg threshold: cells covering fewer
+// than s·N of the N records are not materialized. Mutually exclusive with
+// WithDelta; fractional thresholds re-resolve against a grown database, so
+// cubes built this way cannot be delta-maintained.
+func WithMinSupport(s float64) Option { return func(c *Config) { c.MinSupport = s } }
+
+// WithDelta sets the absolute iceberg threshold δ: cells with fewer than d
+// paths are not materialized. An absolute δ is what ApplyDelta requires.
+func WithDelta(d int64) Option { return func(c *Config) { c.MinCount = d } }
+
+// WithEpsilon sets the exception-significance threshold ε.
+func WithEpsilon(e float64) Option { return func(c *Config) { c.Epsilon = e } }
+
+// WithTau sets the redundancy-similarity threshold τ; 0 disables
+// redundancy marking.
+func WithTau(t float64) Option { return func(c *Config) { c.Tau = t } }
+
+// WithExceptions enables exception mining (conditioned on frequent path
+// segments; see Config.MineExceptions).
+func WithExceptions() Option { return func(c *Config) { c.MineExceptions = true } }
+
+// WithDeltaLedger carries the sub-δ count ledger in the cube and its
+// snapshots, letting ApplyDelta admit newly-frequent cells without
+// re-scanning the base database.
+func WithDeltaLedger() Option { return func(c *Config) { c.DeltaLedger = true } }
+
+// Incremental maintenance (streaming append), implemented by internal/incr.
+type (
+	// DeltaStats reports what one ApplyDelta call did.
+	DeltaStats = incr.Stats
+	// BatchError reports the first invalid record of a rejected append
+	// batch.
+	BatchError = incr.BatchError
+)
+
+// Delta-maintenance sentinels, matched with errors.Is.
+var (
+	// ErrAbsoluteMinCount: the cube was built with a fractional threshold.
+	ErrAbsoluteMinCount = incr.ErrAbsoluteMinCount
+	// ErrCustomMining: the cube was built with a MiningOptions override.
+	ErrCustomMining = incr.ErrCustomMining
+	// ErrSchemaMismatch: the database's schema is not the cube's.
+	ErrSchemaMismatch = incr.ErrSchemaMismatch
+)
+
+// ApplyDelta appends a batch of records to a materialized cube and its
+// path database, updating only the affected cells — counts, flowgraphs,
+// exceptions, redundancy marks, and sub-δ admissions. The result is exact:
+// saving the patched cube yields the same bytes as a full Build over the
+// union database. The cube must have been built with an absolute threshold
+// (WithDelta / Config.MinCount) and no MiningOptions override.
+//
+// ApplyDelta must not run concurrently with readers of the cube or db;
+// long-lived servers patch a (*Cube).Clone and swap. See DESIGN.md §9.
+func ApplyDelta(cube *Cube, db *DB, batch []Record) (*DeltaStats, error) {
+	return incr.ApplyDelta(cube, db, batch)
+}

@@ -7,6 +7,9 @@
 # project-specific contracts on top (cube immutability, byte-deterministic
 # encodings, lock discipline, epsilon float comparisons, surfaced errors),
 # and the short fuzz pass keeps the text parsers panic-free on garbage.
+# The race run also carries the delta-equivalence property tests
+# (internal/incr: ApplyDelta + Save must be byte-identical to a full
+# rebuild over the union database at random split points).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -26,5 +29,6 @@ echo "== fuzz (10s per target) =="
 go test ./internal/core -run '^$' -fuzz FuzzParseCellSpec -fuzztime 10s
 go test ./internal/core -run '^$' -fuzz FuzzLoadSnapshot -fuzztime 10s -fuzzminimizetime 10x
 go test ./internal/pathdb -run '^$' -fuzz FuzzRead -fuzztime 10s
+go test ./internal/incr -run '^$' -fuzz FuzzApplyDelta -fuzztime 10s
 
 echo "ok"
