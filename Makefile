@@ -1,8 +1,8 @@
 # Convenience targets; the source of truth for CI-style verification is
-# scripts/check.sh (vet + build + flowlint + race-detector tests + short
-# fuzz).
+# scripts/check.sh (vet + build + flowlint + race-detector tests + cluster
+# bench smoke + short fuzz).
 
-.PHONY: build test check lint fuzz-short bench bench-serve bench-persist bench-incr
+.PHONY: build test check lint fuzz-short bench bench-serve bench-persist bench-incr bench-cluster
 
 build:
 	go build ./...
@@ -50,3 +50,9 @@ bench-persist:
 # "Incremental maintenance".
 bench-incr:
 	go run ./cmd/flowbench -incr -quiet -incr-out BENCH_incr.json
+
+# Regenerate the sharded-cluster benchmark suite (router-fronted 1/2/4
+# shard fleets vs a single node, multi-process) checked in as
+# BENCH_cluster.json. See DESIGN.md "Cluster architecture".
+bench-cluster:
+	go run ./cmd/flowbench -cluster -quiet -cluster-out BENCH_cluster.json

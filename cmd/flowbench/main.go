@@ -55,13 +55,20 @@ func run(args []string, stdout, stderr io.Writer) error {
 	persistOut := fs.String("persist-out", "", "write the persist benchmark suite as JSON to this file (default stdout)")
 	incr := fs.Bool("incr", false, "run the incremental-maintenance benchmarks (1% batch delta vs full rebuild)")
 	incrOut := fs.String("incr-out", "", "write the incremental benchmark suite as JSON to this file (default stdout)")
+	clusterBench := fs.Bool("cluster", false, "run the sharded-cluster benchmarks (single node vs router over 1/2/4 shard processes)")
+	clusterOut := fs.String("cluster-out", "", "write the cluster benchmark suite as JSON to this file (default stdout)")
+	clusterServe := fs.String("cluster-serve", "", "internal: serve one snapshot for the cluster bench (prints the URL, exits on stdin EOF)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile at exit to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	if *fig == "" && *ablation == "" && !*micro && !*persist && !*incr {
+	if *clusterServe != "" {
+		return bench.ClusterServe(*clusterServe, os.Stdin, stdout)
+	}
+
+	if *fig == "" && *ablation == "" && !*micro && !*persist && !*incr && !*clusterBench {
 		*fig = "all"
 	}
 
@@ -158,6 +165,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if *incr {
 		if err := writeJSON(bench.Incr(opts), *incrOut, stdout); err != nil {
+			return err
+		}
+	}
+	if *clusterBench {
+		exe, err := os.Executable()
+		if err != nil {
+			return fmt.Errorf("cluster: resolve own binary for shard processes: %w", err)
+		}
+		if err := writeJSON(bench.Cluster(opts, exe), *clusterOut, stdout); err != nil {
 			return err
 		}
 	}

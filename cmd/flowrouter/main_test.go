@@ -1,0 +1,213 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"flowcube/internal/cluster"
+	"flowcube/internal/core"
+	"flowcube/internal/datagen"
+	"flowcube/internal/server"
+)
+
+// lockedBuffer lets the test read stderr while run() is still writing logs.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+var listenRE = regexp.MustCompile(`listening on (http://[^\s]+)`)
+
+// clusterCube builds the shared test cube once; it is immutable after.
+var cubeOnce sync.Once
+var clusterCube *core.Cube
+var clusterCubeErr error
+
+// newCluster saves a small cube, splits it across two in-process shard
+// servers, and returns the snapshot path plus the shard URLs.
+func newCluster(t *testing.T) (string, []string) {
+	t.Helper()
+	cubeOnce.Do(func() {
+		cfg := datagen.Default()
+		cfg.NumPaths = 300
+		cfg.NumDims = 2
+		cfg.NumSequences = 10
+		cfg.SeqLenMin, cfg.SeqLenMax = 3, 4
+		cfg.DurationDomain = 3
+		ds := datagen.MustGenerate(cfg)
+		clusterCube, clusterCubeErr = core.Build(ds.DB, core.Config{MinCount: 3, Plan: ds.DefaultPlan()})
+	})
+	if clusterCubeErr != nil {
+		t.Fatal(clusterCubeErr)
+	}
+	cube := clusterCube
+	path := filepath.Join(t.TempDir(), "cube.fcb")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cube.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	parts, err := cluster.Split(cube, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	urls := make([]string, len(parts))
+	for i, part := range parts {
+		srv, err := server.New(func() (*core.Cube, server.LoadInfo, error) {
+			return part, server.LoadInfo{}, nil
+		}, "test", server.Config{Logger: log.New(io.Discard, "", 0)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		t.Cleanup(ts.Close)
+		urls[i] = ts.URL
+	}
+	return path, urls
+}
+
+// startRouter runs flowrouter on an ephemeral port and returns its base URL
+// plus a shutdown function that cancels the serve context (the SIGINT path)
+// and returns run's error.
+func startRouter(t *testing.T, args ...string) (string, func() error) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	var stderr lockedBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, append(args, "-addr", "127.0.0.1:0"), io.Discard, &stderr)
+	}()
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if m := listenRE.FindStringSubmatch(stderr.String()); m != nil {
+			return m[1], func() error {
+				cancel()
+				return <-done
+			}
+		}
+		select {
+		case err := <-done:
+			cancel()
+			t.Fatalf("router exited before listening: %v\nstderr: %s", err, stderr.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			cancel()
+			t.Fatalf("router did not listen in time\nstderr: %s", stderr.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestRouterEndToEnd(t *testing.T) {
+	metaPath, urls := newCluster(t)
+	base, shutdown := startRouter(t,
+		"-meta", metaPath,
+		"-shards", strings.Join(urls, ","),
+		"-source", "e2e",
+		"-quiet")
+
+	resp, err := http.Get(base + "/v1/summary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if cerr := resp.Body.Close(); cerr != nil {
+		t.Fatal(cerr)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("summary status %d: %s", resp.StatusCode, body)
+	}
+	var sum map[string]any
+	if err := json.Unmarshal(body, &sum); err != nil {
+		t.Fatalf("bad summary JSON: %v\n%s", err, body)
+	}
+	if sum["source"] != "e2e" {
+		t.Errorf("summary source = %v, want e2e", sum["source"])
+	}
+	if sum["cells"].(float64) <= 0 {
+		t.Errorf("summary cells = %v, want > 0", sum["cells"])
+	}
+
+	resp, err = http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cerr := resp.Body.Close(); cerr != nil {
+		t.Fatal(cerr)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz status %d, want 200", resp.StatusCode)
+	}
+
+	if err := shutdown(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+func TestRouterValidationFailure(t *testing.T) {
+	metaPath, _ := newCluster(t)
+	// A shard that answers the census scatter with garbage must be rejected
+	// at startup, before the router ever listens.
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "not a flowcube shard", http.StatusNotFound)
+	}))
+	defer bad.Close()
+	err := run(context.Background(),
+		[]string{"-meta", metaPath, "-shards", bad.URL, "-addr", "127.0.0.1:0", "-quiet"},
+		io.Discard, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "shard") {
+		t.Fatalf("run with a non-shard backend = %v, want validation error", err)
+	}
+}
+
+func TestRouterFlagErrors(t *testing.T) {
+	metaPath, _ := newCluster(t)
+	for _, tc := range []struct {
+		args []string
+		want string
+	}{
+		{[]string{}, "-meta is required"},
+		{[]string{"-meta", metaPath}, "-shards is required"},
+		{[]string{"-meta", filepath.Join(t.TempDir(), "missing.fcb"), "-shards", "http://127.0.0.1:1"}, "no such file"},
+	} {
+		err := run(context.Background(), tc.args, io.Discard, io.Discard)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("run(%v) = %v, want error containing %q", tc.args, err, tc.want)
+		}
+	}
+}

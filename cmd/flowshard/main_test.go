@@ -1,0 +1,123 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+
+	"flowcube/internal/core"
+	"flowcube/internal/datagen"
+)
+
+// writeCube builds a small cube and saves it where flowshard can load it.
+// The build is cached: both tests read the same immutable fixture.
+var cubeOnce sync.Once
+var cubeFixture *core.Cube
+var cubeErr error
+
+func writeCube(t *testing.T) (string, *core.Cube) {
+	t.Helper()
+	cubeOnce.Do(func() {
+		cfg := datagen.Default()
+		cfg.NumPaths = 300
+		cfg.NumDims = 2
+		cfg.NumSequences = 10
+		cfg.SeqLenMin, cfg.SeqLenMax = 3, 4
+		cfg.DurationDomain = 3
+		ds := datagen.MustGenerate(cfg)
+		cubeFixture, cubeErr = core.Build(ds.DB, core.Config{
+			MinCount:              3,
+			Epsilon:               0.1,
+			Plan:                  ds.DefaultPlan(),
+			MineExceptions:        true,
+			SingleStageExceptions: true,
+			Workers:               runtime.GOMAXPROCS(0),
+		})
+	})
+	if cubeErr != nil {
+		t.Fatal(cubeErr)
+	}
+	path := filepath.Join(t.TempDir(), "cube.fcb")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cubeFixture.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path, cubeFixture
+}
+
+func TestSplitAndVerify(t *testing.T) {
+	cubePath, cube := writeCube(t)
+	outDir := filepath.Join(t.TempDir(), "shards")
+
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-in", cubePath, "-shards", "3", "-out", outDir, "-verify"}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run: %v\nstderr: %s", err, stderr.String())
+	}
+	var rep summary
+	if err := json.Unmarshal(stdout.Bytes(), &rep); err != nil {
+		t.Fatalf("bad summary JSON: %v\n%s", err, stdout.String())
+	}
+	if rep.Shards != 3 || !rep.Verified {
+		t.Fatalf("summary = %+v, want 3 verified shards", rep)
+	}
+	if rep.Cells != cube.NumCells() {
+		t.Errorf("summary cells = %d, cube has %d", rep.Cells, cube.NumCells())
+	}
+	if len(rep.Files) != 3 {
+		t.Fatalf("summary lists %d files, want 3", len(rep.Files))
+	}
+
+	// The written shards are complete snapshots: loadable, disjoint, and
+	// exhaustive.
+	total := 0
+	for i, path := range rep.Files {
+		if want := filepath.Join(outDir, "shard-"+string(rune('0'+i))+"-of-3.fcb"); path != want {
+			t.Errorf("files[%d] = %s, want %s", i, path, want)
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		part, err := core.Load(f)
+		if cerr := f.Close(); cerr != nil {
+			t.Fatal(cerr)
+		}
+		if err != nil {
+			t.Fatalf("load %s: %v", path, err)
+		}
+		total += part.NumCells()
+	}
+	if total != cube.NumCells() {
+		t.Errorf("shards hold %d cells total, input has %d", total, cube.NumCells())
+	}
+}
+
+func TestFlagErrors(t *testing.T) {
+	cubePath, _ := writeCube(t)
+	for _, tc := range []struct {
+		args []string
+		want string
+	}{
+		{[]string{}, "-in is required"},
+		{[]string{"-in", cubePath, "-shards", "0"}, "shard count"},
+		{[]string{"-in", filepath.Join(t.TempDir(), "missing.fcb")}, "no such file"},
+	} {
+		err := run(tc.args, io.Discard, io.Discard)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("run(%v) = %v, want error containing %q", tc.args, err, tc.want)
+		}
+	}
+}

@@ -1,0 +1,349 @@
+package bench
+
+// Multi-process cluster benchmark behind cmd/flowbench -cluster: build one
+// cube, save it, split it into shard snapshots, then compare a single
+// flowserve-equivalent process against a scatter-gather router over 1, 2,
+// and 4 shard server processes. Shards are real child processes (spawned by
+// re-executing the flowbench binary in its hidden -cluster-serve mode), so
+// every measured request crosses real HTTP hops; the router runs in-process
+// on a real TCP listener, which is the same code path cmd/flowrouter
+// serves. Latency is measured client-side over sequential requests;
+// throughput over a concurrent burst.
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"time"
+
+	"flowcube/internal/cluster"
+	"flowcube/internal/core"
+	"flowcube/internal/datagen"
+	"flowcube/internal/server"
+)
+
+// ClusterWorkload is one endpoint's measured latency/throughput under one
+// topology.
+type ClusterWorkload struct {
+	Name     string  `json:"name"`
+	Requests int     `json:"requests"`
+	P50Ms    float64 `json:"p50_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+	MeanMs   float64 `json:"mean_ms"`
+	// RPS is throughput from a concurrent burst (clusterClients in-flight).
+	RPS float64 `json:"rps"`
+}
+
+// ClusterTopology is one serving configuration's results.
+type ClusterTopology struct {
+	// Name is "single" for the direct single-process baseline, "router-N"
+	// for the scatter-gather router over N shard processes.
+	Name      string            `json:"name"`
+	Shards    int               `json:"shards"`
+	Workloads []ClusterWorkload `json:"workloads"`
+}
+
+// ClusterSuite is the cluster benchmark serialized to BENCH_cluster.json
+// via cmd/flowbench -cluster.
+type ClusterSuite struct {
+	GoVersion  string            `json:"go_version"`
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	Paths      int               `json:"paths"`
+	Cells      int               `json:"cells"`
+	MinCount   int64             `json:"min_count"`
+	Seed       int64             `json:"seed"`
+	Topologies []ClusterTopology `json:"topologies"`
+}
+
+// Request counts per workload. Cell queries dominate real traffic, so they
+// get the biggest sample; the scatter endpoints are heavier per request.
+const (
+	clusterCellReqs    = 400
+	clusterScatterReqs = 120
+	clusterClients     = 8
+	clusterSampleCells = 64
+)
+
+// Cluster runs the benchmark. exe is the flowbench binary to re-execute for
+// shard processes (os.Executable() in cmd/flowbench).
+func Cluster(o Options, exe string) ClusterSuite {
+	cfg := o.baseConfig()
+	cfg.NumPaths = int(100_000 * o.scale())
+	ds := datagen.MustGenerate(cfg)
+	n := ds.DB.Len()
+	minCount := o.minCount(0.01, n)
+	cube, err := core.Build(ds.DB, core.Config{
+		MinCount: minCount, Plan: ds.DefaultPlan(), Workers: runtime.GOMAXPROCS(0),
+	})
+	if err != nil {
+		panic(fmt.Sprintf("bench: cluster build failed: %v", err))
+	}
+
+	dir, err := os.MkdirTemp("", "flowbench-cluster-")
+	if err != nil {
+		panic(fmt.Sprintf("bench: cluster tempdir: %v", err))
+	}
+	defer func() { _ = os.RemoveAll(dir) }() // best-effort temp cleanup
+
+	snapPath := filepath.Join(dir, "cube.fcb")
+	saveCube(cube, snapPath)
+
+	suite := ClusterSuite{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Paths:      n,
+		Cells:      cube.NumCells(),
+		MinCount:   minCount,
+		Seed:       cfg.Seed,
+	}
+	cells := sampleCellQueries(cube, o.Seed)
+
+	single := spawnShard(exe, snapPath)
+	suite.Topologies = append(suite.Topologies,
+		ClusterTopology{Name: "single", Shards: 1, Workloads: measure(o, "single", single.url, cells)})
+	single.stop()
+
+	for _, nShards := range []int{1, 2, 4} {
+		shardDir := filepath.Join(dir, fmt.Sprintf("shards-%d", nShards))
+		files, err := cluster.WriteShards(cube, nShards, shardDir, runtime.GOMAXPROCS(0))
+		if err != nil {
+			panic(fmt.Sprintf("bench: cluster split %d: %v", nShards, err))
+		}
+		procs := make([]*shardProc, len(files))
+		urls := make([]string, len(files))
+		for i, f := range files {
+			procs[i] = spawnShard(exe, f)
+			urls[i] = procs[i].url
+		}
+		rt, err := cluster.NewRouter(cube, urls, cluster.RouterConfig{
+			Source: "bench", Logger: log.New(io.Discard, "", 0),
+		})
+		if err != nil {
+			panic(fmt.Sprintf("bench: cluster router %d: %v", nShards, err))
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			panic(fmt.Sprintf("bench: cluster router listen: %v", err))
+		}
+		done := make(chan error, 1)
+		go func() { done <- rt.Serve(ctx, ln) }()
+		name := fmt.Sprintf("router-%d", nShards)
+		suite.Topologies = append(suite.Topologies,
+			ClusterTopology{Name: name, Shards: nShards,
+				Workloads: measure(o, name, "http://"+ln.Addr().String(), cells)})
+		cancel()
+		<-done
+		for _, p := range procs {
+			p.stop()
+		}
+	}
+	return suite
+}
+
+// saveCube writes a snapshot, panicking on failure like the other bench
+// setup steps.
+func saveCube(cube *core.Cube, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		panic(fmt.Sprintf("bench: cluster save: %v", err))
+	}
+	if err := cube.Save(f); err != nil {
+		panic(fmt.Sprintf("bench: cluster save: %v", err))
+	}
+	if err := f.Close(); err != nil {
+		panic(fmt.Sprintf("bench: cluster save: %v", err))
+	}
+}
+
+// sampleCellQueries picks a deterministic spread of materialized cells and
+// renders them as /v1/cell query strings.
+func sampleCellQueries(cube *core.Cube, seed int64) []string {
+	var all []string
+	for _, s := range cube.CuboidSummaries() {
+		cb := cube.Cuboids[s.Key]
+		if cb == nil {
+			continue
+		}
+		for _, cell := range cb.SortedCells() {
+			all = append(all,
+				"/v1/cell?cell="+core.FormatCell(cube.Schema, cell.Values)+
+					"&pathlevel="+strconv.Itoa(s.PathLevel))
+		}
+	}
+	if len(all) == 0 {
+		panic("bench: cluster cube has no cells to query")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+	if len(all) > clusterSampleCells {
+		all = all[:clusterSampleCells]
+	}
+	return all
+}
+
+// measure runs the three read workloads against one base URL.
+func measure(o Options, topo, baseURL string, cells []string) []ClusterWorkload {
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: clusterClients * 2}}
+	workloads := []struct {
+		name string
+		reqs int
+		path func(i int) string
+	}{
+		{"cell", clusterCellReqs, func(i int) string { return cells[i%len(cells)] }},
+		{"summary", clusterScatterReqs, func(int) string { return "/v1/summary" }},
+		{"exceptions", clusterScatterReqs, func(int) string { return "/v1/exceptions?k=20" }},
+	}
+	var out []ClusterWorkload
+	for _, wl := range workloads {
+		// Warm connections and caches off the clock.
+		for i := 0; i < clusterClients; i++ {
+			get(client, baseURL+wl.path(i))
+		}
+		lat := make([]time.Duration, wl.reqs)
+		for i := range lat {
+			start := time.Now()
+			get(client, baseURL+wl.path(i))
+			lat[i] = time.Since(start)
+		}
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		var sum time.Duration
+		for _, d := range lat {
+			sum += d
+		}
+		w := ClusterWorkload{
+			Name:     wl.name,
+			Requests: wl.reqs,
+			P50Ms:    float64(lat[len(lat)/2].Nanoseconds()) / 1e6,
+			P99Ms:    float64(lat[len(lat)*99/100].Nanoseconds()) / 1e6,
+			MeanMs:   float64(sum.Nanoseconds()) / float64(len(lat)) / 1e6,
+		}
+
+		// Throughput: the same request mix with clusterClients in flight.
+		start := time.Now()
+		next := make(chan int, wl.reqs)
+		for i := 0; i < wl.reqs; i++ {
+			next <- i
+		}
+		close(next)
+		doneCh := make(chan struct{})
+		for c := 0; c < clusterClients; c++ {
+			go func() {
+				for i := range next {
+					get(client, baseURL+wl.path(i))
+				}
+				doneCh <- struct{}{}
+			}()
+		}
+		for c := 0; c < clusterClients; c++ {
+			<-doneCh
+		}
+		if wall := time.Since(start).Seconds(); wall > 0 {
+			w.RPS = float64(wl.reqs) / wall
+		}
+		out = append(out, w)
+		o.progress("cluster %s/%s: p50 %.3f ms, p99 %.3f ms, %.0f req/s",
+			topo, wl.name, w.P50Ms, w.P99Ms, w.RPS)
+	}
+	client.CloseIdleConnections()
+	return out
+}
+
+// get issues one request, retrying once on a transient failure (loopback
+// bursts occasionally drop a connection) and panicking when the retry fails
+// too — a dead server mid-benchmark invalidates the whole suite.
+func get(client *http.Client, url string) {
+	var lastErr string
+	for attempt := 0; attempt < 2; attempt++ {
+		resp, err := client.Get(url)
+		if err != nil {
+			lastErr = fmt.Sprintf("bench: cluster request %s: %v", url, err)
+			continue
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			lastErr = fmt.Sprintf("bench: cluster read %s: %v", url, err)
+			_ = resp.Body.Close() // aborting the attempt; nothing left to read
+			continue
+		}
+		_ = resp.Body.Close() // body already drained; close cannot lose data
+		if resp.StatusCode != http.StatusOK {
+			lastErr = fmt.Sprintf("bench: cluster request %s: status %d: %s", url, resp.StatusCode, body)
+			continue
+		}
+		return
+	}
+	panic(lastErr)
+}
+
+// shardProc is one child server process in -cluster-serve mode.
+type shardProc struct {
+	cmd   *exec.Cmd
+	stdin io.WriteCloser
+	url   string
+}
+
+// spawnShard starts exe in -cluster-serve mode over one snapshot and reads
+// the listen URL it prints. The child exits when its stdin closes, so a
+// crashed parent cannot leak servers.
+func spawnShard(exe, snapshot string) *shardProc {
+	cmd := exec.Command(exe, "-cluster-serve", snapshot)
+	cmd.Stderr = os.Stderr
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		panic(fmt.Sprintf("bench: cluster spawn: %v", err))
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		panic(fmt.Sprintf("bench: cluster spawn: %v", err))
+	}
+	if err := cmd.Start(); err != nil {
+		panic(fmt.Sprintf("bench: cluster spawn %s: %v", exe, err))
+	}
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		_ = cmd.Wait() // child died before printing its address; reap it
+		panic(fmt.Sprintf("bench: cluster shard for %s exited before listening", snapshot))
+	}
+	return &shardProc{cmd: cmd, stdin: stdin, url: sc.Text()}
+}
+
+// stop closes the child's stdin (its exit signal) and reaps it.
+func (p *shardProc) stop() {
+	_ = p.stdin.Close() // closing stdin IS the shutdown signal
+	_ = p.cmd.Wait()    // exit status is uninteresting; the child just serves
+}
+
+// ClusterServe is the hidden child mode behind flowbench -cluster-serve: it
+// serves one snapshot on an ephemeral port, prints the base URL as the
+// first stdout line, and exits when stdin reaches EOF.
+func ClusterServe(snapshot string, stdin io.Reader, stdout io.Writer) error {
+	srv, err := server.New(server.FileLoader(snapshot, server.BuildOptions{}), snapshot, server.Config{
+		Logger: log.New(io.Discard, "", 0),
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "http://%s\n", ln.Addr())
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		_, _ = io.Copy(io.Discard, stdin) // block until parent closes our stdin
+		cancel()
+	}()
+	return srv.Serve(ctx, ln)
+}

@@ -1,0 +1,191 @@
+package core
+
+// Horizontal partitioning support (see internal/cluster and DESIGN.md §10):
+// carving one materialized cube into per-shard cubes along cell-value
+// boundaries, re-assembling shards into the original cube, and loading just
+// a snapshot's metadata prefix so a stateless router can validate and route
+// without holding any cells.
+//
+// This file is on the immutcube allowlist for the same reason delta.go is:
+// every cube mutated here is freshly constructed and not yet shared with
+// any reader.
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"math"
+
+	"flowcube/internal/hierarchy"
+)
+
+// FilterCells returns a new cube holding exactly the cells (and sub-δ
+// ledger entries) whose per-dimension values satisfy keep. Every cuboid of
+// the original stays materialized — possibly empty — and every ledger item
+// level stays present, so a set of complementary filters partitions the
+// cube: Merge over cubes filtered by disjoint, exhaustive predicates
+// reproduces the original cell-for-cell, and their snapshots carry the same
+// section census.
+//
+// The result shares the schema, symbols, and *Cell pointers with the
+// receiver, so it is cheap but must be treated as read-only alongside it —
+// the same contract a serving snapshot already has (mutating paths like
+// incr.ApplyDelta clone first). The mining result is dropped: it describes
+// the whole build, not the kept subset.
+func (c *Cube) FilterCells(keep func(values []hierarchy.NodeID) bool) *Cube {
+	out := &Cube{
+		Schema:   c.Schema,
+		Config:   c.Config,
+		Symbols:  c.Symbols,
+		Cuboids:  make(map[string]*Cuboid, len(c.Cuboids)),
+		minCount: c.minCount,
+		appended: c.appended,
+	}
+	for key, cb := range c.Cuboids {
+		ncb := &Cuboid{Spec: cb.Spec, Cells: make(map[string]*Cell)}
+		for ck, cell := range cb.Cells {
+			if keep(cell.Values) {
+				ncb.Cells[ck] = cell
+			}
+		}
+		out.Cuboids[key] = ncb
+	}
+	if c.ledger != nil {
+		out.ledger = NewLedger()
+		for key, lv := range c.ledger.levels {
+			nlv := &ledgerLevel{item: lv.item, entries: make(map[string]*ledgerEntry)}
+			for ck, e := range lv.entries {
+				if keep(e.values) {
+					nlv.entries[ck] = e
+				}
+			}
+			out.ledger.levels[key] = nlv
+		}
+	}
+	return out
+}
+
+// Merge re-assembles cubes produced by complementary FilterCells calls (or
+// loaded from the per-shard snapshots internal/cluster writes) into one
+// cube. The shards must agree on thresholds, schema shape, and cuboid
+// census, and no cell or ledger entry may appear in more than one shard;
+// violations report which shard disagrees. The merged cube takes the first
+// shard's schema and symbols and shares cell pointers with its inputs.
+func Merge(shards []*Cube) (*Cube, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("core: merge of zero shards")
+	}
+	first := shards[0]
+	out := &Cube{
+		Schema:   first.Schema,
+		Config:   first.Config,
+		Symbols:  first.Symbols,
+		Cuboids:  make(map[string]*Cuboid, len(first.Cuboids)),
+		minCount: first.minCount,
+		appended: first.appended,
+	}
+	for i, s := range shards {
+		if err := compatibleShard(first, s); err != nil {
+			return nil, fmt.Errorf("core: merge shard %d: %w", i, err)
+		}
+		for key, cb := range s.Cuboids {
+			ncb := out.Cuboids[key]
+			if ncb == nil {
+				ncb = &Cuboid{Spec: cb.Spec, Cells: make(map[string]*Cell, len(cb.Cells))}
+				out.Cuboids[key] = ncb
+			}
+			for ck, cell := range cb.Cells {
+				if _, dup := ncb.Cells[ck]; dup {
+					return nil, fmt.Errorf("core: merge shard %d: cell %s of cuboid %s already merged from an earlier shard", i, ck, key)
+				}
+				ncb.Cells[ck] = cell
+			}
+		}
+		if s.ledger == nil {
+			continue
+		}
+		if out.ledger == nil {
+			out.ledger = NewLedger()
+		}
+		for key, lv := range s.ledger.levels {
+			nlv := out.ledger.levels[key]
+			if nlv == nil {
+				nlv = &ledgerLevel{item: lv.item, entries: make(map[string]*ledgerEntry, len(lv.entries))}
+				out.ledger.levels[key] = nlv
+			}
+			for ck, e := range lv.entries {
+				if _, dup := nlv.entries[ck]; dup {
+					return nil, fmt.Errorf("core: merge shard %d: ledger entry %s at level %s already merged from an earlier shard", i, ck, key)
+				}
+				nlv.entries[ck] = e
+			}
+		}
+	}
+	return out, nil
+}
+
+// compatibleShard checks that b describes the same cube as a: same
+// thresholds (floats compared by bit pattern — shards come from the same
+// writer, so byte-equality is the contract), same dimension names and
+// sizes, same path levels, and the same materialized cuboid census.
+func compatibleShard(a, b *Cube) error {
+	if a.minCount != b.minCount {
+		return fmt.Errorf("min count %d, want %d", b.minCount, a.minCount)
+	}
+	if math.Float64bits(a.Config.Epsilon) != math.Float64bits(b.Config.Epsilon) {
+		return fmt.Errorf("epsilon %v, want %v", b.Config.Epsilon, a.Config.Epsilon)
+	}
+	if math.Float64bits(a.Config.Tau) != math.Float64bits(b.Config.Tau) {
+		return fmt.Errorf("tau %v, want %v", b.Config.Tau, a.Config.Tau)
+	}
+	if len(a.Schema.Dims) != len(b.Schema.Dims) {
+		return fmt.Errorf("%d dimensions, want %d", len(b.Schema.Dims), len(a.Schema.Dims))
+	}
+	for d := range a.Schema.Dims {
+		ah, bh := a.Schema.Dims[d], b.Schema.Dims[d]
+		if ah.Dimension() != bh.Dimension() || ah.Len() != bh.Len() {
+			return fmt.Errorf("dimension %d is %s (%d concepts), want %s (%d concepts)",
+				d, bh.Dimension(), bh.Len(), ah.Dimension(), ah.Len())
+		}
+	}
+	if la, lb := len(a.Symbols.PathLevels()), len(b.Symbols.PathLevels()); la != lb {
+		return fmt.Errorf("%d path levels, want %d", lb, la)
+	}
+	if len(a.Cuboids) != len(b.Cuboids) {
+		return fmt.Errorf("%d cuboids, want %d", len(b.Cuboids), len(a.Cuboids))
+	}
+	for key := range a.Cuboids {
+		if _, ok := b.Cuboids[key]; !ok {
+			return fmt.Errorf("missing cuboid %s", key)
+		}
+	}
+	return nil
+}
+
+// LoadMeta reads only a snapshot's metadata — thresholds, schema
+// hierarchies, and the encoding plan — returning a cube with no
+// materialized cells. For v2 snapshots this stops after the plan section
+// without touching the (arbitrarily large) cuboid sections; v1 snapshots
+// are fully decoded and then stripped. The result answers Schema, Symbols,
+// MinCount, ParseCellSpec-style lookups, and Config thresholds; NumCells is
+// 0 and queries find nothing.
+func LoadMeta(r io.Reader) (*Cube, error) {
+	br := bufio.NewReader(r)
+	magic, err := br.Peek(len(magicV2))
+	if err == nil && string(magic) == magicV2 {
+		p, err := loadPreambleV2(context.Background(), br)
+		if err != nil {
+			return nil, err
+		}
+		return p.cube(), nil
+	}
+	cube, err := loadV1(br)
+	if err != nil {
+		return nil, err
+	}
+	cube.Cuboids = make(map[string]*Cuboid)
+	cube.ledger = nil
+	cube.Config.DeltaLedger = false
+	return cube, nil
+}

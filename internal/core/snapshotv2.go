@@ -620,9 +620,39 @@ func sectionPayload(br *bufio.Reader) (kind byte, payload []byte, err error) {
 	return kind, payload, nil
 }
 
-// loadV2 decodes a v2 snapshot from br, positioned at the magic; ctx is
-// checked after every section read.
-func loadV2(ctx context.Context, br *bufio.Reader, opts LoadOptions) (*Cube, error) {
+// preambleV2 is the decoded metadata prefix of a v2 snapshot — everything
+// before the cuboid sections: thresholds and the section census from the
+// header, the schema hierarchies, and the encoding plan. It is all a
+// stateless query router needs (see LoadMeta and internal/cluster), and
+// loadV2 decodes the cell-bearing sections on top of it.
+type preambleV2 struct {
+	minCount   int64
+	epsilon    float64
+	tau        float64
+	numDims    int
+	numCuboids uint64
+	location   *hierarchy.Hierarchy
+	schema     *pathdb.Schema
+	levels     []pathdb.PathLevel
+	plan       transact.Plan
+	syms       *transact.Symbols
+}
+
+// cube assembles a cube skeleton from the preamble: schema, symbols and
+// thresholds set, no cuboids yet.
+func (p *preambleV2) cube() *Cube {
+	return &Cube{
+		Schema:   p.schema,
+		Config:   Config{MinCount: p.minCount, Epsilon: p.epsilon, Tau: p.tau, Plan: p.plan},
+		Symbols:  p.syms,
+		Cuboids:  make(map[string]*Cuboid),
+		minCount: p.minCount,
+	}
+}
+
+// loadPreambleV2 decodes the magic, header, hierarchies and plan sections
+// from br; ctx is checked between sections.
+func loadPreambleV2(ctx context.Context, br *bufio.Reader) (*preambleV2, error) {
 	if _, err := br.Discard(len(magicV2)); err != nil {
 		return nil, err
 	}
@@ -782,6 +812,28 @@ func loadV2(ctx context.Context, br *bufio.Reader, opts LoadOptions) (*Cube, err
 		return nil, err
 	}
 
+	return &preambleV2{
+		minCount:   minCount,
+		epsilon:    epsilon,
+		tau:        tau,
+		numDims:    numDims,
+		numCuboids: numCuboids,
+		location:   location,
+		schema:     schema,
+		levels:     levels,
+		plan:       plan,
+		syms:       syms,
+	}, nil
+}
+
+// loadV2 decodes a v2 snapshot from br, positioned at the magic; ctx is
+// checked after every section read.
+func loadV2(ctx context.Context, br *bufio.Reader, opts LoadOptions) (*Cube, error) {
+	p, err := loadPreambleV2(ctx, br)
+	if err != nil {
+		return nil, err
+	}
+
 	// Cuboid sections (then an optional ledger section): collect payloads,
 	// then decode the cuboids on workers.
 	var cuboidPayloads [][]byte
@@ -791,7 +843,7 @@ func loadV2(ctx context.Context, br *bufio.Reader, opts LoadOptions) (*Cube, err
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		kind, payload, err = sectionPayload(br)
+		kind, payload, err := sectionPayload(br)
 		if err != nil {
 			return nil, err
 		}
@@ -812,31 +864,25 @@ func loadV2(ctx context.Context, br *bufio.Reader, opts LoadOptions) (*Cube, err
 		if haveLedger {
 			return nil, (&byteReader{section: "frame"}).corrupt("cuboid section after the ledger section")
 		}
-		if uint64(len(cuboidPayloads)) >= numCuboids {
+		if uint64(len(cuboidPayloads)) >= p.numCuboids {
 			return nil, (&byteReader{section: "frame"}).corrupt(
-				"more cuboid sections than the header's %d", numCuboids)
+				"more cuboid sections than the header's %d", p.numCuboids)
 		}
 		cuboidPayloads = append(cuboidPayloads, payload)
 	}
-	if uint64(len(cuboidPayloads)) != numCuboids {
+	if uint64(len(cuboidPayloads)) != p.numCuboids {
 		return nil, (&byteReader{section: "frame"}).corrupt(
-			"%d cuboid sections, header promised %d", len(cuboidPayloads), numCuboids)
+			"%d cuboid sections, header promised %d", len(cuboidPayloads), p.numCuboids)
 	}
 
-	cuboids, err := decodeCuboidsV2(cuboidPayloads, location, levels, opts.Workers)
+	cuboids, err := decodeCuboidsV2(cuboidPayloads, p.location, p.levels, opts.Workers)
 	if err != nil {
 		return nil, err
 	}
 
-	cube := &Cube{
-		Schema:   schema,
-		Config:   Config{MinCount: minCount, Epsilon: epsilon, Tau: tau, Plan: plan},
-		Symbols:  syms,
-		Cuboids:  make(map[string]*Cuboid, len(cuboids)),
-		minCount: minCount,
-	}
+	cube := p.cube()
 	for _, cb := range cuboids {
-		if err := validateSpec(cb.Spec, syms, schema); err != nil {
+		if err := validateSpec(cb.Spec, p.syms, p.schema); err != nil {
 			return nil, err
 		}
 		if _, dup := cube.Cuboids[cb.Spec.Key()]; dup {
@@ -845,7 +891,7 @@ func loadV2(ctx context.Context, br *bufio.Reader, opts LoadOptions) (*Cube, err
 		cube.Cuboids[cb.Spec.Key()] = cb
 	}
 	if haveLedger {
-		ledger, err := decodeLedgerV2(ledgerPayload, numDims)
+		ledger, err := decodeLedgerV2(ledgerPayload, p.numDims)
 		if err != nil {
 			return nil, err
 		}

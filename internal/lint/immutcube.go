@@ -40,6 +40,7 @@ var immutAllowedFiles = map[string]map[string]bool{
 		"persist.go":    true,
 		"snapshotv2.go": true,
 		"query.go":      true,
+		"partition.go":  true,
 	},
 	"incr": {
 		"delta.go": true,

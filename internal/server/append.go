@@ -8,6 +8,7 @@ package server
 
 import (
 	"errors"
+	"fmt"
 	"net/http"
 	"time"
 
@@ -15,8 +16,9 @@ import (
 	"flowcube/internal/pathdb"
 )
 
-// maxAppendBody bounds an append request body.
-const maxAppendBody = 64 << 20
+// DefaultMaxAppendBytes bounds an append request body when
+// Config.MaxAppendBytes is zero.
+const DefaultMaxAppendBytes = 64 << 20
 
 // handleAppend parses the body as path-database text records (one
 // `dim,...|loc:dur ...` line each, against the serving schema), applies
@@ -34,8 +36,17 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 			"serving snapshot has no path database (loaded from a saved cube); append needs a database-backed snapshot"})
 		return
 	}
-	batchDB, err := pathdb.Read(http.MaxBytesReader(w, r.Body, maxAppendBody), snap.DB.Schema)
+	batchDB, err := pathdb.Read(http.MaxBytesReader(w, r.Body, s.cfg.MaxAppendBytes), snap.DB.Schema)
 	if err != nil {
+		// An oversized body is a hard protocol violation (413), not a parse
+		// error: MaxBytesReader has already closed the connection's intake,
+		// and retrying the same payload cannot succeed.
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, &httpError{http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds the %d-byte append limit", mbe.Limit)})
+			return
+		}
 		writeError(w, &httpError{http.StatusBadRequest, err.Error()})
 		return
 	}
@@ -66,6 +77,9 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	elapsed := time.Since(start)
+	if s.cfg.PostAppend != nil {
+		cube = s.cfg.PostAppend(cube)
+	}
 
 	next := newSnapshot(cube, snap.Source, s.cfg.CacheSize, elapsed, snap.Bytes)
 	next.DB = db

@@ -170,6 +170,46 @@ func renderExceptions(cube *core.Cube, k int) []ExceptionJSON {
 	return out
 }
 
+// CuboidsResponse is the GET /v1/cuboids JSON body: the full materialized
+// cuboid census, including empty cuboids — unlike /v1/summary's Largest
+// list, which is sampled. A cluster router uses it to validate at startup
+// that every shard materializes the same lattice (internal/cluster).
+type CuboidsResponse struct {
+	Source     string       `json:"source"`
+	LoadedAt   string       `json:"loaded_at"`
+	Dimensions []string     `json:"dimensions"`
+	PathLevels int          `json:"path_levels"`
+	MinCount   int64        `json:"min_count"`
+	Cells      int          `json:"cells"`
+	Cuboids    []CuboidJSON `json:"cuboids"`
+}
+
+func renderCuboids(snap *Snapshot) CuboidsResponse {
+	cube := snap.Cube
+	resp := CuboidsResponse{
+		Source:     snap.Source,
+		LoadedAt:   snap.LoadedAt.UTC().Format("2006-01-02T15:04:05Z"),
+		PathLevels: len(cube.Symbols.PathLevels()),
+		MinCount:   cube.MinCount(),
+		Cells:      cube.NumCells(),
+	}
+	for _, h := range cube.Schema.Dims {
+		resp.Dimensions = append(resp.Dimensions, h.Dimension())
+	}
+	summaries := cube.CuboidSummaries()
+	resp.Cuboids = make([]CuboidJSON, 0, len(summaries))
+	for _, s := range summaries {
+		resp.Cuboids = append(resp.Cuboids, CuboidJSON{
+			Key:       s.Key,
+			ItemLevel: s.Item,
+			PathLevel: s.PathLevel,
+			Cells:     s.Cells,
+			Redundant: s.Redundant,
+		})
+	}
+	return resp
+}
+
 func renderSummary(snap *Snapshot) SummaryResponse {
 	cube := snap.Cube
 	resp := SummaryResponse{

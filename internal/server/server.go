@@ -10,6 +10,7 @@
 //	     query with roll-up inference (core.Cube.QueryGraph)
 //	GET  /v1/summary      cuboid/cell census of the serving snapshot
 //	GET  /v1/exceptions   most severe exceptions across the cube
+//	GET  /v1/cuboids      full materialized-cuboid census (schemas + counts)
 //	GET  /healthz         liveness plus snapshot identity
 //	GET  /metrics         request counts, latency histograms, cache ratio
 //	POST /admin/reload    re-run the loader and atomically swap the snapshot
@@ -48,6 +49,14 @@ type Config struct {
 	// Logger receives one line per request and reload events; nil logs to
 	// the standard logger. Use log.New(io.Discard, ...) to silence.
 	Logger *log.Logger
+	// MaxAppendBytes bounds a POST /admin/append request body; 0 means
+	// DefaultMaxAppendBytes. Oversized bodies are rejected with 413.
+	MaxAppendBytes int64
+	// PostAppend, when set, transforms the delta-maintained cube before it
+	// becomes the serving snapshot. Shard servers use it to drop state the
+	// shard does not own after an append (cluster.ShardFilter); it must
+	// return a cube safe to serve (the input is exclusively owned).
+	PostAppend func(*core.Cube) *core.Cube
 }
 
 // Defaults for Config zero values.
@@ -80,6 +89,9 @@ func New(loader Loader, source string, cfg Config) (*Server, error) {
 	}
 	if cfg.CacheSize == 0 {
 		cfg.CacheSize = DefaultCacheSize
+	}
+	if cfg.MaxAppendBytes == 0 {
+		cfg.MaxAppendBytes = DefaultMaxAppendBytes
 	}
 	s := &Server{
 		cfg:     cfg,
@@ -144,6 +156,7 @@ func (s *Server) routes() http.Handler {
 	mux.Handle("GET /v1/cell", timeout(s.handleCell))
 	mux.Handle("GET /v1/summary", timeout(s.handleSummary))
 	mux.Handle("GET /v1/exceptions", timeout(s.handleExceptions))
+	mux.Handle("GET /v1/cuboids", timeout(s.handleCuboids))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("POST /admin/reload", s.handleReload)
@@ -302,6 +315,10 @@ func computeCell(cube *core.Cube, cellSpec string, pathLevel int, format string)
 
 func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, renderSummary(s.holder.get()))
+}
+
+func (s *Server) handleCuboids(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, renderCuboids(s.holder.get()))
 }
 
 func (s *Server) handleExceptions(w http.ResponseWriter, r *http.Request) {

@@ -100,6 +100,43 @@ type BuildOptions struct {
 	Workers int
 }
 
+// WithDatabase wraps a loader so the snapshots it produces carry the path
+// database read from dbPath whenever the loader itself has none (a loader
+// over a saved cube snapshot, for example). Shard servers use it so
+// /admin/append keeps working over split snapshots: the cube is shard-local
+// but the database is the replicated source of truth (see internal/cluster
+// and DESIGN.md §10). The database is re-read on every load, so reloads see
+// a replaced file.
+func WithDatabase(loader Loader, dbPath string) Loader {
+	return func() (*core.Cube, LoadInfo, error) {
+		cube, info, err := loader()
+		if err != nil || info.DB != nil {
+			return cube, info, err
+		}
+		f, err := os.Open(dbPath)
+		if err != nil {
+			return nil, LoadInfo{}, fmt.Errorf("server: open database %s: %w", dbPath, err)
+		}
+		defer func() { _ = f.Close() }() // read-only; close errors carry no information
+		ds, err := datagen.Read(f)
+		if err != nil {
+			return nil, LoadInfo{}, fmt.Errorf("server: read database %s: %w", dbPath, err)
+		}
+		if len(ds.DB.Schema.Dims) != len(cube.Schema.Dims) {
+			return nil, LoadInfo{}, fmt.Errorf("server: database %s has %d dimensions, cube has %d",
+				dbPath, len(ds.DB.Schema.Dims), len(cube.Schema.Dims))
+		}
+		for d := range cube.Schema.Dims {
+			if got, want := ds.DB.Schema.Dims[d].Dimension(), cube.Schema.Dims[d].Dimension(); got != want {
+				return nil, LoadInfo{}, fmt.Errorf("server: database %s dimension %d is %q, cube has %q",
+					dbPath, d, got, want)
+			}
+		}
+		info.DB = ds.DB
+		return cube, info, nil
+	}
+}
+
 // FileLoader returns a Loader over a file path holding either a persisted
 // cube (flowquery -save, typically .fcb) or a flowgen path database
 // (typically .fdb). The format is sniffed, not inferred from the extension:

@@ -23,7 +23,18 @@ echo "== flowlint =="
 go run ./cmd/flowlint ./...
 
 echo "== go test -race =="
+# Includes the cluster round-trip suite (internal/cluster): split cubes
+# served by live 2- and 3-shard fleets answered through the router, checked
+# byte-for-byte against a single node, under the race detector.
 go test -race ./...
+
+echo "== cluster bench smoke =="
+# Tiny multi-process run of the sharded-cluster bench: real re-exec'd shard
+# server processes behind the router. Writes to a scratch file so the
+# committed full-scale BENCH_cluster.json is never clobbered by smoke
+# numbers.
+go run ./cmd/flowbench -cluster -scale 0.02 -quiet \
+  -cluster-out "$(mktemp -t BENCH_cluster_smoke.XXXXXX.json)"
 
 echo "== fuzz (10s per target) =="
 go test ./internal/core -run '^$' -fuzz FuzzParseCellSpec -fuzztime 10s
