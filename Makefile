@@ -2,7 +2,7 @@
 # scripts/check.sh (vet + build + flowlint + race-detector tests + cluster
 # bench smoke + short fuzz).
 
-.PHONY: build test check lint fuzz-short bench bench-serve bench-persist bench-incr bench-cluster
+.PHONY: build test check lint fuzz-short fuzz-long bench bench-serve bench-persist bench-incr bench-cluster
 
 build:
 	go build ./...
@@ -14,9 +14,11 @@ check:
 	./scripts/check.sh
 
 # Run the project's static-analysis suite (see cmd/flowlint and DESIGN.md
-# "Static analysis & invariants"). Exit status 1 means findings.
+# "Static analysis & invariants"): ten analyzers over cross-package facts.
+# Exit status 1 means findings; -stats reports per-analyzer counts and
+# wall time, and a failure names the offending analyzers.
 lint:
-	go run ./cmd/flowlint ./...
+	go run ./cmd/flowlint -stats ./...
 
 # 10-second fuzz pass over the text parsers (cell specs, .fdb records) and
 # the binary snapshot decoder. Minimization is iteration-bounded: snapshot
@@ -27,6 +29,15 @@ fuzz-short:
 	go test ./internal/core -run '^$$' -fuzz FuzzLoadSnapshot -fuzztime 10s -fuzzminimizetime 10x
 	go test ./internal/pathdb -run '^$$' -fuzz FuzzRead -fuzztime 10s
 	go test ./internal/incr -run '^$$' -fuzz FuzzApplyDelta -fuzztime 10s
+
+# Ten-fold fuzz-short (100s per target): the weekly scheduled CI job. Long
+# enough to reach coverage plateaus the 10s pass misses, short enough that
+# four targets finish inside the job timeout.
+fuzz-long:
+	go test ./internal/core -run '^$$' -fuzz FuzzParseCellSpec -fuzztime 100s
+	go test ./internal/core -run '^$$' -fuzz FuzzLoadSnapshot -fuzztime 100s -fuzzminimizetime 10x
+	go test ./internal/pathdb -run '^$$' -fuzz FuzzRead -fuzztime 100s
+	go test ./internal/incr -run '^$$' -fuzz FuzzApplyDelta -fuzztime 100s
 
 # Regenerate the canonical counting-core benchmark suite (scan-1, trie
 # counting, populate) checked in as BENCH_mining.json. Takes ~10 minutes;

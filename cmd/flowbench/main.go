@@ -18,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -65,7 +66,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	if *clusterServe != "" {
-		return bench.ClusterServe(*clusterServe, os.Stdin, stdout)
+		return bench.ClusterServe(context.Background(), *clusterServe, os.Stdin, stdout)
 	}
 
 	if *fig == "" && *ablation == "" && !*micro && !*persist && !*incr && !*clusterBench {
@@ -173,7 +174,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if err != nil {
 			return fmt.Errorf("cluster: resolve own binary for shard processes: %w", err)
 		}
-		if err := writeJSON(bench.Cluster(opts, exe), *clusterOut, stdout); err != nil {
+		if err := writeJSON(bench.Cluster(context.Background(), opts, exe), *clusterOut, stdout); err != nil {
 			return err
 		}
 	}

@@ -1,18 +1,28 @@
-// Command flowlint is the project's static-analysis multichecker: five
+// Command flowlint is the project's static-analysis multichecker: ten
 // analyzers that machine-check the contracts the flowcube codebase relies
-// on but the compiler cannot see — cube immutability after build
-// (immutcube), byte-deterministic encodings (mapdet), serving-layer lock
-// discipline (locksafe), epsilon-safe float comparisons (floatcmp), and
-// surfaced errors on persistence paths (errpath).
+// on but the compiler cannot see. Five are single-package — cube
+// immutability after build (immutcube), byte-deterministic encodings
+// (mapdet), serving-layer lock discipline (locksafe), epsilon-safe float
+// comparisons (floatcmp), surfaced errors on persistence paths (errpath) —
+// and five run over cross-package facts computed in a first phase over
+// every loaded package: leak-prone goroutine spawns (goroleak), context
+// plumbing on blocking exported surfaces (ctxflow), unclosed HTTP response
+// bodies (bodyclose), locks held across interprocedurally blocking calls
+// (lockblock), and nondeterminism reaching the byte-deterministic snapshot
+// codec (detrand).
 //
 // Usage:
 //
-//	flowlint [-only name,name] [package pattern ...]
+//	flowlint [-only name,name] [-stats] [-facts] [package pattern ...]
 //
 // Patterns are directory patterns relative to the working directory
 // (./..., ./internal/core, ./cmd/...); the default is ./... over the
-// enclosing module. The exit status is 1 when any finding is reported,
-// 2 on usage or load errors.
+// enclosing module. Cross-package facts cover exactly the loaded packages,
+// so narrowing the pattern narrows what the fact-driven analyzers can see —
+// CI always runs the full module. -stats prints per-analyzer finding counts
+// and wall time to stderr; -facts dumps the phase-1 fact table instead of
+// running phase 2. The exit status is 1 when any finding is reported, 2 on
+// usage or load errors, and a failure names the offending analyzers.
 package main
 
 import (
@@ -34,8 +44,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
 	list := fs.Bool("list", false, "list analyzers and exit")
+	stats := fs.Bool("stats", false, "print per-analyzer finding counts and wall time to stderr")
+	facts := fs.Bool("facts", false, "dump the phase-1 cross-package fact table and exit")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: flowlint [-only name,name] [package pattern ...]\n\nAnalyzers:\n")
+		fmt.Fprintf(stderr, "usage: flowlint [-only name,name] [-stats] [-facts] [package pattern ...]\n\nAnalyzers:\n")
 		for _, a := range lint.All() {
 			fmt.Fprintf(stderr, "  %-10s %s\n", a.Name, a.Doc)
 		}
@@ -82,12 +94,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "flowlint: no Go packages match %s\n", strings.Join(patterns, " "))
 		return 2
 	}
-	findings := lint.Run(pkgs, analyzers)
+	table := lint.ComputeFacts(pkgs)
+	if *facts {
+		fmt.Fprint(stdout, lint.FormatFacts(table))
+		return 0
+	}
+	findings, perAnalyzer := lint.RunStats(pkgs, analyzers, table)
 	for _, f := range findings {
 		fmt.Fprintln(stdout, f)
 	}
+	if *stats {
+		for _, s := range perAnalyzer {
+			fmt.Fprintf(stderr, "flowlint: %-10s %3d finding(s) %8.1fms\n",
+				s.Name, s.Findings, float64(s.Elapsed.Microseconds())/1e3)
+		}
+	}
 	if len(findings) > 0 {
-		fmt.Fprintf(stderr, "flowlint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		var offending []string
+		for _, s := range perAnalyzer {
+			if s.Findings > 0 {
+				offending = append(offending, s.Name)
+			}
+		}
+		fmt.Fprintf(stderr, "flowlint: %d finding(s) in %d package(s) from %s\n",
+			len(findings), len(pkgs), strings.Join(offending, ", "))
 		return 1
 	}
 	return 0

@@ -2,6 +2,7 @@ package main
 
 import (
 	"os"
+	"os/exec"
 	"strings"
 	"testing"
 
@@ -69,5 +70,99 @@ func TestRepoIsClean(t *testing.T) {
 	}
 	for _, f := range lint.Run(pkgs, lint.All()) {
 		t.Errorf("%s", f)
+	}
+}
+
+// TestLoadMatchesGoList pins the loader's package discovery to the go
+// command's: every package `go list` reports with non-test Go files —
+// cmd/* included — must be loaded by Load("./..."), and nothing else. A
+// drift here means TestRepoIsClean is silently skipping packages.
+func TestLoadMatchesGoList(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module type-check is slow")
+	}
+	root, _, err := lint.ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(root); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := os.Chdir(cwd); err != nil {
+			t.Error(err)
+		}
+	}()
+
+	out, err := exec.Command("go", "list", "-f", "{{if .GoFiles}}{{.ImportPath}}{{end}}", "./...").Output()
+	if err != nil {
+		t.Fatalf("go list: %v", err)
+	}
+	want := make(map[string]bool)
+	for _, line := range strings.Split(strings.TrimSpace(string(out)), "\n") {
+		if line != "" {
+			want[line] = true
+		}
+	}
+
+	pkgs, err := lint.Load([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(map[string]bool, len(pkgs))
+	for _, p := range pkgs {
+		got[p.PkgPath] = true
+		if !want[p.PkgPath] {
+			t.Errorf("Load(./...) loaded %s, which go list does not report", p.PkgPath)
+		}
+	}
+	for path := range want {
+		if !got[path] {
+			t.Errorf("Load(./...) missed %s (reported by go list)", path)
+		}
+	}
+	if !got["flowcube/cmd/flowlint"] || !got["flowcube/cmd/flowserve"] {
+		t.Error("Load(./...) must cover the cmd/* packages")
+	}
+}
+
+// TestDeterministicOutput runs the checker twice over the same seeded-bad
+// fixture and requires byte-identical findings and fact dumps — `make
+// lint` output must not depend on map iteration or scheduling.
+func TestDeterministicOutput(t *testing.T) {
+	args := []string{"-only", "errpath,floatcmp",
+		"../../internal/lint/testdata/src/errpath",
+		"../../internal/lint/testdata/src/floatcmp"}
+	var first string
+	for i := 0; i < 2; i++ {
+		var stdout, stderr strings.Builder
+		if code := run(args, &stdout, &stderr); code != 1 {
+			t.Fatalf("run #%d = %d, want 1\nstderr: %s", i, code, stderr.String())
+		}
+		if i == 0 {
+			first = stdout.String()
+		} else if stdout.String() != first {
+			t.Errorf("findings differ between identical runs:\n--- run 0\n%s--- run 1\n%s", first, stdout.String())
+		}
+	}
+
+	var facts string
+	for i := 0; i < 2; i++ {
+		var stdout, stderr strings.Builder
+		if code := run([]string{"-facts", "../../internal/lint/testdata/src/errpath"}, &stdout, &stderr); code != 0 {
+			t.Fatalf("run(-facts) #%d = %d\nstderr: %s", i, code, stderr.String())
+		}
+		if i == 0 {
+			facts = stdout.String()
+			if facts == "" {
+				t.Fatal("-facts printed nothing")
+			}
+		} else if stdout.String() != facts {
+			t.Errorf("fact table differs between identical runs:\n--- run 0\n%s--- run 1\n%s", facts, stdout.String())
+		}
 	}
 }

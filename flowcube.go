@@ -59,6 +59,7 @@
 package flowcube
 
 import (
+	"context"
 	"io"
 
 	"flowcube/internal/cleaning"
@@ -200,7 +201,7 @@ func AggregatePath(p Path, level PathLevel) Path {
 // the Shared algorithm over the encoded transaction database, constructs a
 // flowgraph per frequent cell, mines exceptions, and — when Config.Tau is
 // set — marks redundant cells.
-func Build(db *DB, cfg Config) (*Cube, error) { return core.Build(db, cfg) }
+func Build(db *DB, cfg Config) (*Cube, error) { return BuildContext(context.Background(), db, cfg) }
 
 // BuildFlowgraph summarizes a path collection directly, outside any cube.
 func BuildFlowgraph(loc *Hierarchy, level PathLevel, paths []Path) *Flowgraph {
@@ -290,4 +291,4 @@ func PlanCuboids(lp LayerPlan, numPathLevels int) ([]CuboidSpec, error) {
 }
 
 // LoadCube reconstructs a cube previously serialized with (*Cube).Save.
-func LoadCube(r io.Reader) (*Cube, error) { return core.Load(r) }
+func LoadCube(r io.Reader) (*Cube, error) { return LoadCubeContext(context.Background(), r) }

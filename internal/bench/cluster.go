@@ -25,6 +25,7 @@ import (
 	"runtime"
 	"sort"
 	"strconv"
+	"sync"
 	"time"
 
 	"flowcube/internal/cluster"
@@ -76,8 +77,9 @@ const (
 )
 
 // Cluster runs the benchmark. exe is the flowbench binary to re-execute for
-// shard processes (os.Executable() in cmd/flowbench).
-func Cluster(o Options, exe string) ClusterSuite {
+// shard processes (os.Executable() in cmd/flowbench). Cancelling ctx stops
+// the in-process router between topologies.
+func Cluster(ctx context.Context, o Options, exe string) ClusterSuite {
 	cfg := o.baseConfig()
 	cfg.NumPaths = int(100_000 * o.scale())
 	ds := datagen.MustGenerate(cfg)
@@ -132,7 +134,7 @@ func Cluster(o Options, exe string) ClusterSuite {
 		if err != nil {
 			panic(fmt.Sprintf("bench: cluster router %d: %v", nShards, err))
 		}
-		ctx, cancel := context.WithCancel(context.Background())
+		ctx, cancel := context.WithCancel(ctx)
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			panic(fmt.Sprintf("bench: cluster router listen: %v", err))
@@ -237,18 +239,17 @@ func measure(o Options, topo, baseURL string, cells []string) []ClusterWorkload 
 			next <- i
 		}
 		close(next)
-		doneCh := make(chan struct{})
+		var wg sync.WaitGroup
 		for c := 0; c < clusterClients; c++ {
+			wg.Add(1)
 			go func() {
+				defer wg.Done()
 				for i := range next {
 					get(client, baseURL+wl.path(i))
 				}
-				doneCh <- struct{}{}
 			}()
 		}
-		for c := 0; c < clusterClients; c++ {
-			<-doneCh
-		}
+		wg.Wait()
 		if wall := time.Since(start).Seconds(); wall > 0 {
 			w.RPS = float64(wl.reqs) / wall
 		}
@@ -327,8 +328,8 @@ func (p *shardProc) stop() {
 
 // ClusterServe is the hidden child mode behind flowbench -cluster-serve: it
 // serves one snapshot on an ephemeral port, prints the base URL as the
-// first stdout line, and exits when stdin reaches EOF.
-func ClusterServe(snapshot string, stdin io.Reader, stdout io.Writer) error {
+// first stdout line, and exits when stdin reaches EOF or ctx is cancelled.
+func ClusterServe(ctx context.Context, snapshot string, stdin io.Reader, stdout io.Writer) error {
 	srv, err := server.New(server.FileLoader(snapshot, server.BuildOptions{}), snapshot, server.Config{
 		Logger: log.New(io.Discard, "", 0),
 	})
@@ -340,7 +341,7 @@ func ClusterServe(snapshot string, stdin io.Reader, stdout io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(stdout, "http://%s\n", ln.Addr())
-	ctx, cancel := context.WithCancel(context.Background())
+	ctx, cancel := context.WithCancel(ctx)
 	go func() {
 		_, _ = io.Copy(io.Discard, stdin) // block until parent closes our stdin
 		cancel()

@@ -496,7 +496,9 @@ func (rt *Router) Serve(ctx context.Context, ln net.Listener) error {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), rt.cfg.RequestTimeout)
+		// WithoutCancel: ctx is already done here; the drain deadline must
+		// not inherit its cancellation or Shutdown would return immediately.
+		shutdownCtx, cancel := context.WithTimeout(context.WithoutCancel(ctx), rt.cfg.RequestTimeout)
 		defer cancel()
 		err := srv.Shutdown(shutdownCtx)
 		<-errc

@@ -171,10 +171,17 @@ func compatibleShard(a, b *Cube) error {
 // MinCount, ParseCellSpec-style lookups, and Config thresholds; NumCells is
 // 0 and queries find nothing.
 func LoadMeta(r io.Reader) (*Cube, error) {
+	return LoadMetaContext(context.Background(), r)
+}
+
+// LoadMetaContext is LoadMeta with cancellation: ctx is checked between
+// preamble sections, so probing a snapshot on a slow reader can be
+// abandoned.
+func LoadMetaContext(ctx context.Context, r io.Reader) (*Cube, error) {
 	br := bufio.NewReader(r)
 	magic, err := br.Peek(len(magicV2))
 	if err == nil && string(magic) == magicV2 {
-		p, err := loadPreambleV2(context.Background(), br)
+		p, err := loadPreambleV2(ctx, br)
 		if err != nil {
 			return nil, err
 		}

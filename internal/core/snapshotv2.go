@@ -560,7 +560,7 @@ type LoadOptions struct {
 // snapshot formats load: the leading magic selects the v2 columnar decoder
 // or the legacy v1 gob decoder.
 func Load(r io.Reader) (*Cube, error) {
-	return LoadWith(r, LoadOptions{})
+	return LoadContext(context.Background(), r)
 }
 
 // LoadWith is Load with explicit codec options.

@@ -1,19 +1,32 @@
 // Package lint is flowlint's analysis framework: a small, stdlib-only
 // reimplementation of the golang.org/x/tools/go/analysis vocabulary
-// (Analyzer, Pass, Diagnostic) plus the project-specific analyzers that
-// machine-check the contracts the flowcube codebase otherwise states only
-// in prose — the immutable-after-build cube (immutcube), byte-deterministic
-// encodings over map-backed state (mapdet), lock discipline in the serving
-// layer (locksafe), epsilon-safe floating-point comparisons (floatcmp), and
-// surfaced errors on persistence paths (errpath).
+// (Analyzer, Pass, Diagnostic, and a Facts table) plus the project-specific
+// analyzers that machine-check the contracts the flowcube codebase
+// otherwise states only in prose. The original five are single-package: the
+// immutable-after-build cube (immutcube), byte-deterministic encodings over
+// map-backed state (mapdet), lock discipline in the serving layer
+// (locksafe), epsilon-safe floating-point comparisons (floatcmp), and
+// surfaced errors on persistence paths (errpath). The cluster era added
+// five fact-driven concurrency and contract analyzers: leak-prone goroutine
+// spawns (goroleak), context plumbing on blocking exported surfaces
+// (ctxflow), unclosed HTTP response bodies (bodyclose), locks held across
+// interprocedurally blocking calls (lockblock), and nondeterminism reaching
+// the byte-deterministic snapshot codec (detrand).
+//
+// Analysis is two-phase. Phase 1 (facts.go) walks every loaded package and
+// summarizes each function into a FuncFact — blocking classification,
+// goroutine spawns, context acceptance/forwarding, nondeterminism sources —
+// propagated over the module-internal call graph and keyed by import path.
+// Phase 2 runs the analyzers one package at a time with the whole table in
+// Pass.Facts, which is how a lock site in one package learns that its
+// callee in another package blocks.
 //
 // The framework is deliberately tiny: packages are parsed and type-checked
 // with go/parser and go/types, cross-package imports resolve through the
 // stdlib source importer (which shells out to the go command for module
-// paths), and analyzers receive one type-checked package at a time. It
-// exists because the container pins the dependency set — x/tools is not
-// available — and because five narrow project analyzers do not need the
-// full Fact/Requires machinery.
+// paths). It exists because the container pins the dependency set — x/tools
+// is not available — and because ten narrow project analyzers do not need
+// the full Fact/Requires machinery.
 //
 // Suppression: a diagnostic is dropped when the offending line (or the line
 // directly above it) carries a comment of the form
@@ -32,6 +45,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Analyzer is one named check over a type-checked package.
@@ -44,12 +58,17 @@ type Analyzer struct {
 	Run func(*Pass) []Diagnostic
 }
 
-// Pass carries one type-checked package through an analyzer.
+// Pass carries one type-checked package through an analyzer. Facts is the
+// phase-1 cross-package fact table over every package in the Run; it is nil
+// when facts are disabled, and fact-driven analyzers (goroleak, ctxflow,
+// lockblock, detrand) degrade to their purely syntactic subset (for
+// lockblock: nothing) in that mode.
 type Pass struct {
 	Fset  *token.FileSet
 	Files []*ast.File
 	Pkg   *types.Package
 	Info  *types.Info
+	Facts *FactTable
 }
 
 // Diagnostic is one finding, positioned inside the package under analysis.
@@ -63,7 +82,9 @@ func (p *Pass) Filename(pos token.Pos) string {
 	return filepath.Base(p.Fset.Position(pos).Filename)
 }
 
-// All returns the flowlint analyzer suite in reporting order.
+// All returns the flowlint analyzer suite in reporting order: the original
+// five single-package analyzers, then the five fact-driven concurrency and
+// contract analyzers added for the cluster era.
 func All() []*Analyzer {
 	return []*Analyzer{
 		ImmutCube,
@@ -71,6 +92,11 @@ func All() []*Analyzer {
 		LockSafe,
 		FloatCmp,
 		ErrPath,
+		GoroLeak,
+		CtxFlow,
+		BodyClose,
+		LockBlock,
+		DetRand,
 	}
 }
 
@@ -86,21 +112,51 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s: [%s] %s", f.Position, f.Analyzer, f.Message)
 }
 
-// Run applies every analyzer to every package, resolves ignore directives,
-// and returns the surviving findings sorted by position.
+// AnalyzerStat is one analyzer's aggregate over a Run: surviving findings
+// and wall time summed across packages.
+type AnalyzerStat struct {
+	Name     string
+	Findings int
+	Elapsed  time.Duration
+}
+
+// Run applies every analyzer to every package — phase 1 computes the
+// cross-package fact table, phase 2 runs the analyzers over it — resolves
+// ignore directives, and returns the surviving findings sorted by position.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	findings, _ := RunStats(pkgs, analyzers, ComputeFacts(pkgs))
+	return findings
+}
+
+// RunWithFacts is Run with an explicit fact table; nil disables facts, and
+// fact-driven analyzers degrade to their syntactic subset.
+func RunWithFacts(pkgs []*Package, analyzers []*Analyzer, facts *FactTable) []Finding {
+	findings, _ := RunStats(pkgs, analyzers, facts)
+	return findings
+}
+
+// RunStats is RunWithFacts plus per-analyzer finding counts and wall time,
+// in analyzer order.
+func RunStats(pkgs []*Package, analyzers []*Analyzer, facts *FactTable) ([]Finding, []AnalyzerStat) {
+	stats := make([]AnalyzerStat, len(analyzers))
+	for i, a := range analyzers {
+		stats[i].Name = a.Name
+	}
 	var out []Finding
 	for _, pkg := range pkgs {
 		ignores := collectIgnores(pkg.Fset, pkg.Files)
-		pass := &Pass{Fset: pkg.Fset, Files: pkg.Files, Pkg: pkg.Pkg, Info: pkg.Info}
-		for _, a := range analyzers {
+		pass := &Pass{Fset: pkg.Fset, Files: pkg.Files, Pkg: pkg.Pkg, Info: pkg.Info, Facts: facts}
+		for i, a := range analyzers {
+			start := time.Now()
 			for _, d := range a.Run(pass) {
 				pos := pkg.Fset.Position(d.Pos)
 				if ignores.suppresses(a.Name, pos) {
 					continue
 				}
 				out = append(out, Finding{Position: pos, Analyzer: a.Name, Message: d.Message})
+				stats[i].Findings++
 			}
+			stats[i].Elapsed += time.Since(start)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -116,7 +172,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 		}
 		return out[i].Analyzer < out[j].Analyzer
 	})
-	return out
+	return out, stats
 }
 
 // ignoreIndex maps file → line → analyzer names suppressed on that line.

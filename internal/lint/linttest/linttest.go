@@ -1,7 +1,8 @@
 // Package linttest is flowlint's analogue of
-// golang.org/x/tools/go/analysis/analysistest: it loads a testdata package,
-// applies one analyzer through the full lint.Run pipeline (so ignore
-// directives are honored exactly as in production), and compares the
+// golang.org/x/tools/go/analysis/analysistest: it loads a testdata fixture
+// (plus any dependency packages in its subdirectories), applies one
+// analyzer through the full lint.Run pipeline (so cross-package facts and
+// ignore directives are honored exactly as in production), and compares the
 // findings against // want annotations in the source.
 //
 // An expectation is a comment of the form
@@ -11,12 +12,19 @@
 // on the line the diagnostic is reported at. The backquoted (or quoted)
 // strings are regular expressions matched against the finding message;
 // several may appear on one line. Every finding must match an expectation
-// and every expectation must be matched, or the test fails.
+// and every expectation must be matched, or the test fails. A fixture file
+// with no want comments is therefore a clean-path test: any finding in it
+// fails.
+//
+// Check is the assertion core, returned as data instead of reported to a
+// *testing.T; the meta-tests use it to assert that the harness itself fails
+// on stale annotations.
 package linttest
 
 import (
 	"fmt"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 	"testing"
@@ -34,17 +42,37 @@ type expectation struct {
 	matched bool
 }
 
-// Run loads the single package under dir and applies the analyzer,
-// comparing its findings to the // want annotations.
+// Run loads the fixture under dir and applies the analyzer, reporting
+// want-annotation mismatches as test errors.
 func Run(t *testing.T, dir string, a *lint.Analyzer) {
 	t.Helper()
-	pkg, err := lint.LoadDir(dir, "flowcube/internal/lint/testdata/"+a.Name)
+	mismatches, err := Check(dir, "flowcube/internal/lint/testdata/"+a.Name, a)
 	if err != nil {
 		t.Fatalf("load %s: %v", dir, err)
 	}
-	wants := collectWants(t, pkg)
-	findings := lint.Run([]*lint.Package{pkg}, []*lint.Analyzer{a})
+	for _, m := range mismatches {
+		t.Error(m)
+	}
+}
 
+// Check loads the fixture package under dir (dependency subpackages
+// included), runs the analyzer with facts over the whole fixture, and
+// returns one message per mismatch between findings and want annotations.
+// A nil slice means the fixture passes.
+func Check(dir, pkgPath string, a *lint.Analyzer) ([]string, error) {
+	pkgs, err := lint.LoadFixture(dir, pkgPath)
+	if err != nil {
+		return nil, err
+	}
+	wants := make(map[string][]*expectation)
+	for _, pkg := range pkgs {
+		if err := collectWants(pkg, wants); err != nil {
+			return nil, err
+		}
+	}
+	findings := lint.Run(pkgs, []*lint.Analyzer{a})
+
+	var mismatches []string
 	for _, f := range findings {
 		key := posKey(f.Position.Filename, f.Position.Line)
 		matched := false
@@ -56,16 +84,22 @@ func Run(t *testing.T, dir string, a *lint.Analyzer) {
 			}
 		}
 		if !matched {
-			t.Errorf("unexpected finding: %s", f)
+			mismatches = append(mismatches, fmt.Sprintf("unexpected finding: %s", f))
 		}
 	}
-	for key, ws := range wants {
-		for _, w := range ws {
+	keys := make([]string, 0, len(wants))
+	for key := range wants {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		for _, w := range wants[key] {
 			if !w.matched {
-				t.Errorf("%s: expected finding matching %q, got none", key, w.re)
+				mismatches = append(mismatches, fmt.Sprintf("%s: expected finding matching %q, got none", key, w.re))
 			}
 		}
 	}
+	return mismatches, nil
 }
 
 func posKey(filename string, line int) string {
@@ -73,9 +107,7 @@ func posKey(filename string, line int) string {
 }
 
 // collectWants scans the package's comments for want annotations.
-func collectWants(t *testing.T, pkg *lint.Package) map[string][]*expectation {
-	t.Helper()
-	wants := make(map[string][]*expectation)
+func collectWants(pkg *lint.Package, wants map[string][]*expectation) error {
 	for _, file := range pkg.Files {
 		for _, cg := range file.Comments {
 			for _, c := range cg.List {
@@ -87,7 +119,7 @@ func collectWants(t *testing.T, pkg *lint.Package) map[string][]*expectation {
 				pos := pkg.Fset.Position(c.Pos())
 				args := wantArgRE.FindAllString(rest, -1)
 				if len(args) == 0 {
-					t.Fatalf("%s: malformed want comment %q", pos, c.Text)
+					return fmt.Errorf("%s: malformed want comment %q", pos, c.Text)
 				}
 				for _, arg := range args {
 					var pat string
@@ -96,12 +128,12 @@ func collectWants(t *testing.T, pkg *lint.Package) map[string][]*expectation {
 					} else {
 						var err error
 						if pat, err = strconv.Unquote(arg); err != nil {
-							t.Fatalf("%s: bad want pattern %s: %v", pos, arg, err)
+							return fmt.Errorf("%s: bad want pattern %s: %v", pos, arg, err)
 						}
 					}
 					re, err := regexp.Compile(pat)
 					if err != nil {
-						t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+						return fmt.Errorf("%s: bad want regexp %q: %v", pos, pat, err)
 					}
 					key := posKey(pos.Filename, pos.Line)
 					wants[key] = append(wants[key], &expectation{re: re, line: pos.Line})
@@ -109,5 +141,5 @@ func collectWants(t *testing.T, pkg *lint.Package) map[string][]*expectation {
 			}
 		}
 	}
-	return wants
+	return nil
 }

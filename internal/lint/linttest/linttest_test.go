@@ -1,0 +1,39 @@
+package linttest_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"flowcube/internal/lint"
+	"flowcube/internal/lint/linttest"
+)
+
+// TestHarnessCatchesMismatches is the meta-test: a fixture with one stale
+// want annotation and one unannotated finding must produce exactly one
+// mismatch of each kind. If this test fails, every green analyzer test is
+// suspect — the harness would be accepting fixtures it should reject.
+func TestHarnessCatchesMismatches(t *testing.T) {
+	dir := filepath.Join("..", "testdata", "src", "meta")
+	mismatches, err := linttest.Check(dir, "flowcube/internal/lint/testdata/meta", lint.FloatCmp)
+	if err != nil {
+		t.Fatalf("load meta fixture: %v", err)
+	}
+	var stale, unexpected int
+	for _, m := range mismatches {
+		switch {
+		case strings.Contains(m, "expected finding matching"):
+			stale++
+		case strings.Contains(m, "unexpected finding"):
+			unexpected++
+		default:
+			t.Errorf("unclassified mismatch: %s", m)
+		}
+	}
+	if stale != 1 {
+		t.Errorf("stale-want mismatches = %d, want 1 (all: %q)", stale, mismatches)
+	}
+	if unexpected != 1 {
+		t.Errorf("unexpected-finding mismatches = %d, want 1 (all: %q)", unexpected, mismatches)
+	}
+}

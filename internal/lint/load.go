@@ -154,6 +154,69 @@ func LoadDir(dir, pkgPath string) (*Package, error) {
 	return pkg, nil
 }
 
+// tableImporter resolves imports from already-loaded packages first, then
+// falls back to the stdlib source importer. It is what lets a testdata
+// fixture import a sibling testdata package — the go command refuses to
+// resolve import paths under testdata/, so the fixture loader type-checks
+// the dependency itself and serves it from the table.
+type tableImporter struct {
+	loaded   map[string]*types.Package
+	fallback types.Importer
+}
+
+func (t *tableImporter) Import(path string) (*types.Package, error) {
+	if p := t.loaded[path]; p != nil {
+		return p, nil
+	}
+	return t.fallback.Import(path)
+}
+
+// LoadFixture loads the fixture package in dir under pkgPath, together with
+// its dependency packages: every subdirectory of dir holding Go files is
+// type-checked first as pkgPath/<sub> and made importable by the fixture.
+// All packages share one FileSet (positions and facts stay comparable) and
+// are returned dependencies-first, the fixture package last. Dependencies
+// must not import each other; fixtures that need a deeper graph should
+// nest further subdirectories instead.
+func LoadFixture(dir, pkgPath string) ([]*Package, error) {
+	fset := token.NewFileSet()
+	imp := &tableImporter{
+		loaded:   make(map[string]*types.Package),
+		fallback: importer.ForCompiler(fset, "source", nil),
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	for _, e := range ents {
+		if !e.IsDir() || strings.HasPrefix(e.Name(), ".") {
+			continue
+		}
+		sub := filepath.Join(dir, e.Name())
+		if !hasGoFiles(sub) {
+			continue
+		}
+		subPath := pkgPath + "/" + e.Name()
+		dep, err := checkDir(fset, imp, sub, subPath)
+		if err != nil {
+			return nil, err
+		}
+		if dep != nil {
+			imp.loaded[subPath] = dep.Pkg
+			pkgs = append(pkgs, dep)
+		}
+	}
+	main, err := checkDir(fset, imp, dir, pkgPath)
+	if err != nil {
+		return nil, err
+	}
+	if main == nil {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	return append(pkgs, main), nil
+}
+
 func hasGoFiles(dir string) bool {
 	ents, err := os.ReadDir(dir)
 	if err != nil {

@@ -53,11 +53,11 @@ func runLockSafe(pass *Pass) []Diagnostic {
 			case *ast.FuncDecl:
 				diags = append(diags, lockCopyChecks(pass, fn)...)
 				if fn.Body != nil {
-					diags = append(diags, (&lockScan{pass: pass}).block(fn.Body, newHeldSet())...)
+					diags = append(diags, newLockScan(pass).block(fn.Body, newHeldSet())...)
 				}
 			case *ast.FuncLit:
 				if fn.Body != nil {
-					diags = append(diags, (&lockScan{pass: pass}).block(fn.Body, newHeldSet())...)
+					diags = append(diags, newLockScan(pass).block(fn.Body, newHeldSet())...)
 				}
 			}
 			return true
@@ -147,8 +147,25 @@ func (h *heldSet) clone() *heldSet {
 	return c
 }
 
+// lockScan scans held-lock regions. classify decides which calls count as
+// blocking under a held lock and renders their name; format renders the
+// diagnostic. locksafe uses the syntactic stdlib classifier; lockblock
+// (lockblock.go) plugs in the cross-package facts classifier.
 type lockScan struct {
-	pass *Pass
+	pass     *Pass
+	classify func(*ast.CallExpr) (string, bool)
+	format   func(name, lock string) string
+}
+
+// newLockScan builds locksafe's syntactic scanner.
+func newLockScan(pass *Pass) *lockScan {
+	s := &lockScan{pass: pass}
+	s.classify = s.blockingCall
+	s.format = func(name, lock string) string {
+		return fmt.Sprintf("blocking call %s while holding %s; release the lock before I/O (one slow peer stalls every lock waiter)",
+			name, lock)
+	}
+	return s
 }
 
 // block scans a statement list linearly, tracking the held set, and returns
@@ -259,7 +276,7 @@ func (s *lockScan) checkCall(call *ast.CallExpr, held *heldSet) []Diagnostic {
 	if len(held.exprs) == 0 {
 		return nil
 	}
-	name, blocking := s.blockingCall(call)
+	name, blocking := s.classify(call)
 	if !blocking {
 		return nil
 	}
@@ -272,9 +289,8 @@ func (s *lockScan) checkCall(call *ast.CallExpr, held *heldSet) []Diagnostic {
 		}
 	}
 	return []Diagnostic{{
-		Pos: call.Pos(),
-		Message: fmt.Sprintf("blocking call %s while holding %s; release the lock before I/O (one slow peer stalls every lock waiter)",
-			name, first),
+		Pos:     call.Pos(),
+		Message: s.format(name, first),
 	}}
 }
 

@@ -1,0 +1,33 @@
+// Seeded-bad fixtures for bodyclose: response bodies that never reach a
+// Close and are never handed off.
+package bodyclose
+
+import "net/http"
+
+func leak(url string) error {
+	resp, err := http.Get(url) // want `resp\.Body is never closed on some path`
+	if err != nil {
+		return err
+	}
+	_ = resp.Status
+	return nil
+}
+
+func discardExpr(url string) {
+	http.Get(url) // want `http\.Response result discarded; its Body must be closed`
+}
+
+func discardBlank(url string) {
+	_, _ = http.Get(url) // want `http\.Response discarded to _; its Body must be closed`
+}
+
+func leakRenamed(url string) error {
+	r, err := http.Get(url) // want `r\.Body is never closed on some path`
+	if err != nil {
+		return err
+	}
+	if r.StatusCode != http.StatusOK {
+		return nil
+	}
+	return nil
+}

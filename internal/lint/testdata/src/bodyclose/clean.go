@@ -1,0 +1,67 @@
+// Clean-path fixtures for bodyclose: closes and every recognized hand-off.
+// Any finding in this file fails the golden test.
+package bodyclose
+
+import "net/http"
+
+func closed(url string) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return nil
+}
+
+func closedInClosure(url string) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		resp.Body.Close()
+	}()
+	return nil
+}
+
+// handedOff transfers ownership to the caller.
+func handedOff(url string) (*http.Response, error) {
+	resp, err := http.Get(url)
+	return resp, err
+}
+
+// passedAlong transfers ownership to drain, which closes.
+func passedAlong(url string) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	return drain(resp)
+}
+
+func drain(resp *http.Response) error {
+	defer resp.Body.Close()
+	return nil
+}
+
+type holder struct {
+	resp *http.Response
+}
+
+// stored transfers ownership into a struct the caller owns.
+func stored(url string) (*holder, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	h := &holder{}
+	h.resp = resp
+	return h, nil
+}
+
+func (h *holder) close() error {
+	if h.resp != nil {
+		return h.resp.Body.Close()
+	}
+	return nil
+}

@@ -1,0 +1,43 @@
+// Seeded-bad fixtures for ctxflow: uncancellable exported surfaces, stray
+// context.Background, and contexts stored in struct fields.
+package ctxflow
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+func FetchAll(url string) error { // want `exported FetchAll blocks \(net; net/http\.Get\) but neither takes nor derives a context\.Context`
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+
+func SleepyRetry() { // want `exported SleepyRetry blocks \(sleep; time\.Sleep\) but neither takes nor derives a context\.Context`
+	time.Sleep(time.Second)
+}
+
+// internalSleep is unexported: not a surface, never flagged directly.
+func internalSleep() {
+	time.Sleep(time.Second)
+}
+
+func Transitive() { // want `exported Transitive blocks \(sleep; calls flowcube/internal/lint/testdata/ctxflow\.internalSleep\) but neither takes nor derives`
+	internalSleep()
+}
+
+func detach() context.Context {
+	return context.Background() // want `context\.Background outside package main detaches work`
+}
+
+func todo() context.Context {
+	return context.TODO() // want `context\.TODO outside package main detaches work`
+}
+
+type job struct {
+	ctx context.Context // want `struct job stores a context\.Context in a field`
+	id  int
+}

@@ -1,0 +1,59 @@
+// Clean-path fixtures for ctxflow: every exemption the analyzer grants.
+// Any finding in this file fails the golden test.
+package ctxflow
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+// FetchCtx blocks on the network but accepts a context: exempt.
+func FetchCtx(ctx context.Context, url string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+
+// Handler blocks but carries a *http.Request, whose Context travels with
+// it: exempt.
+func Handler(w http.ResponseWriter, r *http.Request) {
+	time.Sleep(time.Millisecond)
+}
+
+// Join blocks on a channel, not the outside world: CPU-parallel joins
+// complete on their own and are exempt from the ctx requirement.
+func Join(ch chan int) int {
+	return <-ch
+}
+
+// LoadContext is the cancellable primitive...
+func LoadContext(ctx context.Context, url string) error {
+	return FetchCtx(ctx, url)
+}
+
+// ...and Load is the sanctioned context-less convenience wrapper: a
+// single-statement forward to a Context-suffixed sibling. Its
+// context.Background is the one place outside main the call is allowed.
+func Load(url string) error {
+	return LoadContext(context.Background(), url)
+}
+
+// Quick does not block at all: exempt.
+func Quick(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+type worker struct {
+	id int // a context-free struct stays silent
+}

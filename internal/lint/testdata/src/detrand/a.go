@@ -1,0 +1,36 @@
+// Seeded-bad fixtures for detrand: nondeterminism reachable from a
+// declared determinism root.
+package detrand
+
+//flowlint:detrand-root Save
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+)
+
+// Save is the fixture's byte-deterministic entry point (see the
+// detrand-root directive above); everything it reaches is under contract.
+func Save(w io.Writer, cells map[string]int) error {
+	stamp()
+	emit(w, cells)
+	shuffle()
+	emitSorted(w, cells)
+	return nil
+}
+
+func stamp() int64 {
+	return time.Now().UnixNano() // want `time\.Now inside detrand\.stamp, which is reachable from a determinism root`
+}
+
+func emit(w io.Writer, cells map[string]int) {
+	for k, v := range cells { // want `map iteration emitted via call to Fprintf inside detrand\.emit`
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+func shuffle() int {
+	return rand.Intn(10) // want `math/rand\.Intn inside detrand\.shuffle`
+}

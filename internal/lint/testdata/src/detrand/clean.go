@@ -1,0 +1,30 @@
+// Clean-path fixtures for detrand. Any finding in this file fails the
+// golden test.
+package detrand
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Unreachable is nondeterministic but outside every root's call tree, so
+// it is not under the byte-determinism contract.
+func Unreachable() int64 {
+	return time.Now().UnixNano()
+}
+
+// emitSorted is reachable from Save but uses the sanctioned
+// collect-then-sort pattern: the map iteration only accumulates, and the
+// emission runs over the sorted slice.
+func emitSorted(w io.Writer, cells map[string]int) {
+	keys := make([]string, 0, len(cells))
+	for k := range cells {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%d\n", k, cells[k])
+	}
+}

@@ -1,0 +1,51 @@
+// Seeded-bad fixtures for goroleak: goroutines that can block forever with
+// no escape.
+package goroleak
+
+import "net/http"
+
+func leakyRecv(ch chan int) {
+	go func() { // want `goroutine can block forever on a channel receive`
+		<-ch
+	}()
+}
+
+func leakySend(ch chan int) {
+	go func() { // want `goroutine can block forever on a channel send`
+		ch <- 1
+	}()
+}
+
+func leakyRange(ch chan int) {
+	go func() { // want `goroutine can block forever on a channel range`
+		for range ch {
+		}
+	}()
+}
+
+func leakyNetCall() {
+	go func() { // want `goroutine can block forever on net/http\.Get`
+		resp, err := http.Get("http://example.invalid")
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+}
+
+// blockingWorker parks on its channel; its fact says blocks: chan.
+func blockingWorker(ch chan int) {
+	<-ch
+}
+
+func leakyNamedSpawn(ch chan int) {
+	go blockingWorker(ch) // want `spawns flowcube/internal/lint/testdata/goroleak\.blockingWorker, which blocks \(chan\)`
+}
+
+func leakyUnbufferedResult(ch chan int) {
+	done := make(chan error)
+	go func() { // want `goroutine can block forever on a channel send`
+		done <- nil
+	}()
+	<-done
+	_ = ch
+}

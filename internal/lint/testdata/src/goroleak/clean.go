@@ -1,0 +1,89 @@
+// Clean-path fixtures for goroleak: every spawn here has its lifetime
+// bounded, so any finding in this file fails the golden test.
+package goroleak
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"sync"
+)
+
+func okCtxSelect(ctx context.Context, ch chan int) {
+	go func() {
+		select {
+		case <-ctx.Done():
+		case <-ch:
+		}
+	}()
+}
+
+func okCancellableCall(ctx context.Context, urls []string) {
+	for range urls {
+		go func() {
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://example.invalid", nil)
+			if err != nil {
+				return
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err == nil {
+				resp.Body.Close()
+			}
+		}()
+	}
+}
+
+func okWaitGroup(ch chan int) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-ch
+	}()
+	wg.Wait()
+}
+
+func okBufferedSend() {
+	errc := make(chan error, 1)
+	go func() {
+		errc <- nil
+	}()
+	<-errc
+}
+
+// okAsyncResult is the sanctioned server-accept shape: the blocking call's
+// result goes straight to a buffered channel, so the goroutine cannot
+// outlive the call and its completion is observable.
+func okAsyncResult(srv *http.Server, ln net.Listener) error {
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	return <-errc
+}
+
+func okPollingSelect(ch chan int) {
+	go func() {
+		select {
+		case <-ch:
+		default:
+		}
+	}()
+}
+
+// ctxWorker blocks but takes a context; spawning it with a ctx argument
+// hands it a lifetime.
+func ctxWorker(ctx context.Context, ch chan int) {
+	select {
+	case <-ctx.Done():
+	case <-ch:
+	}
+}
+
+func okNamedSpawn(ctx context.Context, ch chan int) {
+	go ctxWorker(ctx, ch)
+}
+
+func okNonBlockingSpawn() {
+	go func() {
+		_ = 1 + 1
+	}()
+}

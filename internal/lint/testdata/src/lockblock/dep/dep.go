@@ -1,0 +1,19 @@
+// Package dep is the cross-package half of the lockblock fixture: the
+// blocking call lives here, two hops from the lock that is held across it.
+package dep
+
+import "net/http"
+
+// Fetch blocks on the network; its fact says blocks: net.
+func Fetch(url string) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+
+// Quick is CPU-only; its fact says blocks: none.
+func Quick() int {
+	return 1
+}

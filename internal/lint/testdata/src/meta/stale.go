@@ -1,0 +1,9 @@
+// Package meta is the harness's own fixture: one stale want annotation and
+// one unannotated finding. The linttest meta-test asserts that Check
+// reports both mismatches — a fixture harness that cannot fail proves
+// nothing about the analyzers it runs.
+package meta
+
+func add(a, b int) int {
+	return a + b // want `this finding is never produced`
+}

@@ -1,0 +1,7 @@
+package meta
+
+// eq trips floatcmp but carries no want annotation, so the harness must
+// report an unexpected finding.
+func eq(a, b float64) bool {
+	return a == b
+}

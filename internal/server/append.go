@@ -71,6 +71,14 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 	cube := snap.Cube.Clone()
 	db := &pathdb.DB{Schema: snap.DB.Schema, Records: append([]pathdb.Record(nil), snap.DB.Records...)}
 	start := time.Now()
+	// adminMu is deliberately held across ApplyDelta: appends are
+	// clone-patch-swap against the snapshot fetched above, so two appends
+	// running concurrently would each patch their own clone and the second
+	// swap would silently discard the first batch. Serializing admin
+	// mutations here is the correctness mechanism (reads are never blocked —
+	// they go through holder.get, not adminMu); TestAdminAppendSerialized
+	// locks the no-lost-update behavior in.
+	//flowlint:ignore lockblock single-flight by design: concurrent appends must queue or lose updates
 	stats, err := incr.ApplyDelta(cube, db, batchDB.Records)
 	if err != nil {
 		writeError(w, appendError(err))

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 
 	"flowcube/internal/core"
@@ -142,5 +143,64 @@ func TestAdminAppendErrors(t *testing.T) {
 	}
 	if rec, _ := postBody(t, s.Handler(), "/admin/append", "tennis,nike|f:1 s:2\n"); rec.Code != http.StatusConflict {
 		t.Errorf("fractional cube: status %d, want 409", rec.Code)
+	}
+}
+
+// TestAdminAppendSerialized is the regression test behind append.go's
+// lockblock allowlist entry: adminMu is deliberately held across
+// ApplyDelta so concurrent appends queue instead of racing clone-patch-swap
+// and losing each other's batches. Fire the remaining records as
+// concurrent single-record batches and require every one to land.
+func TestAdminAppendSerialized(t *testing.T) {
+	ex := paperex.New()
+	plan := transact.Plan{PathLevels: []pathdb.PathLevel{ex.BasePathLevel(), ex.TransportPathLevel()}}
+	cfg := core.Config{MinCount: 2, Plan: plan, DeltaLedger: true}
+
+	split := ex.DB.Len() - 3
+	prefix := &pathdb.DB{Schema: ex.DB.Schema, Records: append([]pathdb.Record(nil), ex.DB.Records[:split]...)}
+	cube, err := core.Build(prefix, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(func() (*core.Cube, LoadInfo, error) {
+		return cube, LoadInfo{DB: prefix}, nil
+	}, "test", quietConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rest := ex.DB.Records[split:]
+	var wg sync.WaitGroup
+	errs := make([]string, len(rest))
+	for i, r := range rest {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var batch bytes.Buffer
+			one := &pathdb.DB{Schema: ex.DB.Schema, Records: []pathdb.Record{r}}
+			if _, err := one.WriteTo(&batch); err != nil {
+				errs[i] = err.Error()
+				return
+			}
+			rec, _ := postBody(t, s.Handler(), "/admin/append", batch.String())
+			if rec.Code != http.StatusOK {
+				errs[i] = rec.Body.String()
+			}
+		}()
+	}
+	wg.Wait()
+	for i, e := range errs {
+		if e != "" {
+			t.Fatalf("concurrent append %d failed: %s", i, e)
+		}
+	}
+
+	snap := s.Snapshot()
+	if snap.DB.Len() != ex.DB.Len() {
+		t.Fatalf("after %d concurrent appends, snapshot DB has %d records, want %d (a batch was lost)",
+			len(rest), snap.DB.Len(), ex.DB.Len())
+	}
+	if got := s.Metrics().Appends.Count; got != int64(len(rest)) {
+		t.Errorf("appends.count = %d, want %d", got, len(rest))
 	}
 }

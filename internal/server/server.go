@@ -389,7 +389,9 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), s.cfg.RequestTimeout)
+		// WithoutCancel: ctx is already done here; the drain deadline must
+		// not inherit its cancellation or Shutdown would return immediately.
+		shutdownCtx, cancel := context.WithTimeout(context.WithoutCancel(ctx), s.cfg.RequestTimeout)
 		defer cancel()
 		err := srv.Shutdown(shutdownCtx)
 		<-errc // Serve has returned http.ErrServerClosed

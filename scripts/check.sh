@@ -4,9 +4,13 @@
 # (internal/server, cmd/flowserve) honest — snapshot hot-reload, the
 # single-flight response cache and graceful shutdown are all exercised by
 # tests that hammer the server from many goroutines. flowlint layers the
-# project-specific contracts on top (cube immutability, byte-deterministic
-# encodings, lock discipline, epsilon float comparisons, surfaced errors),
-# and the short fuzz pass keeps the text parsers panic-free on garbage.
+# project-specific contracts on top — ten analyzers over two phases: five
+# single-package (cube immutability, byte-deterministic encodings, lock
+# discipline, epsilon float comparisons, surfaced errors) and five driven
+# by cross-package facts (goroutine leaks, context plumbing, unclosed
+# response bodies, locks held across interprocedurally blocking calls,
+# nondeterminism reaching the snapshot codec) — and the short fuzz pass
+# keeps the text parsers panic-free on garbage.
 # The race run also carries the delta-equivalence property tests
 # (internal/incr: ApplyDelta + Save must be byte-identical to a full
 # rebuild over the union database at random split points).
@@ -20,7 +24,9 @@ echo "== go build =="
 go build ./...
 
 echo "== flowlint =="
-go run ./cmd/flowlint ./...
+# -stats prints each analyzer's finding count and wall time to stderr; on
+# failure the trailing line names the offending analyzers.
+go run ./cmd/flowlint -stats ./...
 
 echo "== go test -race =="
 # Includes the cluster round-trip suite (internal/cluster): split cubes
