@@ -12,6 +12,7 @@
 //	flowgen -n 20000 -out paths.fdb
 //	flowquery -in paths.fdb -save cube.fcb
 //	flowserve -in cube.fcb -addr :8080
+//	flowserve -in cube.fcb -lazy                       # mmap, decode on touch
 //	flowserve -in paths.fdb -minsup 0.01 -exceptions   # build at startup
 //
 //	curl 'localhost:8080/v1/cell?cell=d0=d0.1,d1=*&pathlevel=0'
@@ -76,6 +77,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	tau := fs.Float64("tau", 0, "similarity threshold τ, 0 disables redundancy marking (when building)")
 	exceptions := fs.Bool("exceptions", false, "mine flowgraph exceptions (when building)")
 	workers := fs.Int("workers", 0, "goroutines for flowgraph construction (when building; 0 = sequential)")
+	lazy := fs.Bool("lazy", false, "mmap v2 cube snapshots and decode sections on first touch (cold open in milliseconds, bounded RSS)")
+	lazyCache := fs.Int64("lazy-cache", 0, "decoded-section LRU budget in bytes for -lazy (0 = default 64 MiB, negative = unbounded)")
 	timeout := fs.Duration("timeout", server.DefaultRequestTimeout, "per-request timeout")
 	cacheSize := fs.Int("cache", server.DefaultCacheSize, "response cache entries (negative disables)")
 	quiet := fs.Bool("quiet", false, "suppress per-request logging")
@@ -97,6 +100,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		Tau:            *tau,
 		MineExceptions: *exceptions,
 		Workers:        *workers,
+		Lazy:           *lazy,
+		LazyCacheBytes: *lazyCache,
 	})
 	if *db != "" {
 		loader = server.WithDatabase(loader, *db)

@@ -330,7 +330,10 @@ func (p *shardProc) stop() {
 // serves one snapshot on an ephemeral port, prints the base URL as the
 // first stdout line, and exits when stdin reaches EOF or ctx is cancelled.
 func ClusterServe(ctx context.Context, snapshot string, stdin io.Reader, stdout io.Writer) error {
-	srv, err := server.New(server.FileLoader(snapshot, server.BuildOptions{}), snapshot, server.Config{
+	// Shards open lazily: per-shard snapshots are v2 files, so the cluster
+	// comes up in milliseconds with each shard's RSS bounded by the section
+	// LRU instead of its full cube (non-v2 inputs fall back to eager).
+	srv, err := server.New(server.FileLoader(snapshot, server.BuildOptions{Lazy: true}), snapshot, server.Config{
 		Logger: log.New(io.Discard, "", 0),
 	})
 	if err != nil {

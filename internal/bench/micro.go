@@ -23,6 +23,10 @@ type MicroResult struct {
 	NsPerOp     int64  `json:"ns_per_op"`
 	BytesPerOp  int64  `json:"bytes_per_op"`
 	AllocsPerOp int64  `json:"allocs_per_op"`
+	// MaxRSSBytes is the live-heap footprint the measured configuration
+	// retains (GC-settled HeapAlloc delta), recorded only for the persist
+	// suite's serving cases where bounded residency is the point.
+	MaxRSSBytes int64 `json:"max_rss_bytes,omitempty"`
 }
 
 // MicroSuite is the canonical counting-core benchmark set: the dense first

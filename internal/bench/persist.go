@@ -4,11 +4,14 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"os"
 	"runtime"
+	"sort"
 	"testing"
 
 	"flowcube/internal/core"
 	"flowcube/internal/datagen"
+	"flowcube/internal/hierarchy"
 )
 
 // PersistSuite is the snapshot-codec benchmark set serialized to
@@ -17,16 +20,20 @@ import (
 // ratios are the two the format was built for — serialized size (v2/v1) and
 // load speedup (v1 time over parallel v2 time).
 type PersistSuite struct {
-	GoVersion   string        `json:"go_version"`
-	GOMAXPROCS  int           `json:"gomaxprocs"`
-	Paths       int           `json:"paths"`
-	Seed        int64         `json:"seed"`
-	Cells       int           `json:"cells"`
-	V1Bytes     int           `json:"v1_bytes"`
-	V2Bytes     int           `json:"v2_bytes"`
-	BytesRatio  float64       `json:"v2_over_v1_bytes"`
-	LoadSpeedup float64       `json:"load_speedup_v2_parallel_over_v1"`
-	Results     []MicroResult `json:"results"`
+	GoVersion   string  `json:"go_version"`
+	GOMAXPROCS  int     `json:"gomaxprocs"`
+	Paths       int     `json:"paths"`
+	Seed        int64   `json:"seed"`
+	Cells       int     `json:"cells"`
+	V1Bytes     int     `json:"v1_bytes"`
+	V2Bytes     int     `json:"v2_bytes"`
+	BytesRatio  float64 `json:"v2_over_v1_bytes"`
+	LoadSpeedup float64 `json:"load_speedup_v2_parallel_over_v1"`
+	// LazyOpenSpeedup is the zero-copy serving headline: a cold lazy open
+	// (mmap + framing validation, nothing decoded) against the parallel
+	// eager load of the same snapshot.
+	LazyOpenSpeedup float64       `json:"lazy_open_speedup_over_v2_parallel"`
+	Results         []MicroResult `json:"results"`
 }
 
 // persistWorkers is the parallel codec width benchmarked against the
@@ -35,7 +42,11 @@ const persistWorkers = 8
 
 // Persist benchmarks the snapshot codecs on one materialized cube (paper
 // baseline scaled by Options.Scale, exceptions mined so every section kind
-// is populated).
+// is populated). It is a synchronous benchmark harness: the timed bodies
+// run under testing.Benchmark, which cannot be cancelled mid-iteration, so
+// a context would be decorative.
+//
+//flowlint:ignore ctxflow benchmark harness runs to completion by design; testing.Benchmark is not cancellable
 func Persist(o Options) PersistSuite {
 	cfg := o.baseConfig()
 	cfg.NumPaths = int(100_000 * o.scale())
@@ -133,5 +144,113 @@ func Persist(o Options) PersistSuite {
 	if loadV2.NsPerOp > 0 {
 		suite.LoadSpeedup = float64(loadV1.NsPerOp) / float64(loadV2.NsPerOp)
 	}
+
+	// Lazy serving cases need the snapshot on disk (the lazy opener maps a
+	// file, not a reader).
+	snapFile, err := os.CreateTemp("", "flowbench-*.fcb")
+	if err != nil {
+		panic(fmt.Sprintf("bench: persist temp snapshot: %v", err))
+	}
+	snapPath := snapFile.Name()
+	defer os.Remove(snapPath) //nolint:errcheck // best-effort cleanup
+	if _, err := snapFile.Write(v2bytes); err != nil {
+		panic(fmt.Sprintf("bench: persist temp snapshot: %v", err))
+	}
+	if err := snapFile.Close(); err != nil {
+		panic(fmt.Sprintf("bench: persist temp snapshot: %v", err))
+	}
+	mustOpenLazy := func() *core.Cube {
+		lz, err := core.LoadCubeLazy(snapPath, core.LazyOptions{})
+		if err != nil {
+			panic(fmt.Sprintf("bench: lazy open failed: %v", err))
+		}
+		return lz
+	}
+
+	// The steady-state query mix: every materialized cell once, in sorted
+	// cuboid/cell order.
+	type cellQuery struct {
+		spec   core.CuboidSpec
+		values []hierarchy.NodeID
+	}
+	var queries []cellQuery
+	cuboidKeys := make([]string, 0, len(cube.Cuboids))
+	for key := range cube.Cuboids {
+		cuboidKeys = append(cuboidKeys, key)
+	}
+	sort.Strings(cuboidKeys)
+	for _, key := range cuboidKeys {
+		cb := cube.Cuboids[key]
+		for _, cell := range cb.SortedCells() {
+			queries = append(queries, cellQuery{spec: cb.Spec, values: cell.Values})
+		}
+	}
+	if len(queries) == 0 {
+		panic("bench: persist cube has no cells to query")
+	}
+	runQueries := func(c *core.Cube) {
+		for _, q := range queries {
+			if _, ok := c.Cell(q.spec, q.values); !ok {
+				panic(fmt.Sprintf("bench: cell %v of %s missing", q.values, q.spec.Key()))
+			}
+		}
+	}
+
+	// Cold open: mapping + framing/CRC validation, nothing decoded.
+	openLazy := add("open-lazy", func() {
+		mustOpenLazy().Close() //nolint:errcheck // benchmark body
+	})
+	if openLazy.NsPerOp > 0 {
+		suite.LazyOpenSpeedup = float64(loadV2.NsPerOp) / float64(openLazy.NsPerOp)
+	}
+
+	// Cold open plus the first cell query: one section decodes.
+	first := queries[0]
+	add("first-query-lazy", func() {
+		lz := mustOpenLazy()
+		if _, ok := lz.Cell(first.spec, first.values); !ok {
+			panic("bench: first lazy query missed")
+		}
+		lz.Close() //nolint:errcheck // benchmark body
+	})
+
+	// Steady state: one long-lived lazy cube answering the full query mix
+	// from its LRU. MaxRSS is the GC-settled live-heap delta the serving
+	// cube retains — the bound the default cache budget promises — measured
+	// against what the fully decoded eager cube holds.
+	liveHeap := func() int64 {
+		runtime.GC()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return int64(ms.HeapAlloc)
+	}
+	heap0 := liveHeap()
+	steady := mustOpenLazy()
+	runQueries(steady)
+	lazyRSS := liveHeap() - heap0
+	add("steady-state-lazy", func() {
+		runQueries(steady)
+	})
+	setRSS(&suite, "steady-state-lazy", lazyRSS)
+	steady.Close() //nolint:errcheck // benchmark body
+
+	heap0 = liveHeap()
+	eagerCube, err := core.LoadWith(bytes.NewReader(v2bytes), core.LoadOptions{Workers: persistWorkers})
+	if err != nil {
+		panic(fmt.Sprintf("bench: persist load failed: %v", err))
+	}
+	eagerRSS := liveHeap() - heap0
+	setRSS(&suite, fmt.Sprintf("load/v2/parallel-%d", persistWorkers), eagerRSS)
+	runtime.KeepAlive(eagerCube)
 	return suite
+}
+
+// setRSS stamps a recorded result's MaxRSSBytes after the fact (the heap
+// measurement brackets the long-lived state, not the timed loop).
+func setRSS(suite *PersistSuite, name string, rss int64) {
+	for i := range suite.Results {
+		if suite.Results[i].Name == name {
+			suite.Results[i].MaxRSSBytes = rss
+		}
+	}
 }

@@ -131,6 +131,10 @@ type Cube struct {
 	// ledger is the sub-δ count store carried when Config.DeltaLedger is
 	// set; see delta.go and internal/incr.
 	ledger *Ledger
+	// lazy is non-nil for cubes opened with LoadCubeLazy: Cuboids stays
+	// empty and the read paths answer from the mapped snapshot through the
+	// backend (see lazyload.go). Mutators need Materialize first.
+	lazy *lazyBackend
 }
 
 // Config parameterizes Build.
@@ -178,15 +182,21 @@ type Config struct {
 // MinCount reports the absolute iceberg threshold used by the cube.
 func (c *Cube) MinCount() int64 { return c.minCount }
 
-// Cuboid returns a materialized cuboid, or nil.
+// Cuboid returns a materialized cuboid, or nil. On a lazily loaded cube
+// this decodes the cuboid's section on first touch (through the LRU); a
+// section that fails to decode reports nil, with the error available via
+// LazyErr.
 func (c *Cube) Cuboid(spec CuboidSpec) *Cuboid {
+	if c.lazy != nil {
+		return c.lazy.cuboidByKey(spec.Key())
+	}
 	return c.Cuboids[spec.Key()]
 }
 
 // Cell resolves a cell by cuboid spec and per-dimension values (which must
 // already be at the spec's item level; '*' dimensions use hierarchy.Root).
 func (c *Cube) Cell(spec CuboidSpec, values []hierarchy.NodeID) (*Cell, bool) {
-	cb := c.Cuboids[spec.Key()]
+	cb := c.Cuboid(spec)
 	if cb == nil {
 		return nil, false
 	}
@@ -215,6 +225,9 @@ func (cb *Cuboid) SortedCells() []*Cell {
 // per run, so ranging the map directly would make snapshots, first-violation
 // errors, and summaries differ between two otherwise identical processes.
 func (c *Cube) sortedCuboids() []*Cuboid {
+	if c.lazy != nil {
+		return c.lazy.sortedAll()
+	}
 	keys := make([]string, 0, len(c.Cuboids))
 	for k := range c.Cuboids {
 		keys = append(keys, k)
@@ -228,7 +241,12 @@ func (c *Cube) sortedCuboids() []*Cuboid {
 }
 
 // NumCells reports the total number of materialized cells across cuboids.
+// On a lazy cube it sums the per-section cell counts from the section
+// headers without decoding any cells.
 func (c *Cube) NumCells() int {
+	if c.lazy != nil {
+		return c.lazy.numCells()
+	}
 	n := 0
 	for _, cb := range c.Cuboids {
 		n += len(cb.Cells)
@@ -249,8 +267,18 @@ type CuboidSummary struct {
 // CuboidSummaries returns a per-cuboid census sorted by cuboid key, so
 // long-lived consumers (e.g. query servers) can report on the cube without
 // iterating its internal maps. It is a pure read and safe under concurrent
-// readers.
+// readers. On a lazy cube the census comes from a flat scan over the
+// mapped sections (cached per section) without materializing any cells; a
+// scan failure reports nil with the error available via LazyErr.
 func (c *Cube) CuboidSummaries() []CuboidSummary {
+	if c.lazy != nil {
+		out, err := c.lazy.summaries()
+		if err != nil {
+			c.lazy.noteErr(err)
+			return nil
+		}
+		return out
+	}
 	out := make([]CuboidSummary, 0, len(c.Cuboids))
 	for key, cb := range c.Cuboids {
 		s := CuboidSummary{

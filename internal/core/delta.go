@@ -288,8 +288,28 @@ func StagePins(syms *transact.Symbols, stages []transact.Item) (int, []flowgraph
 // (the schema and hierarchies, the mining result): cells, flowgraphs, tids,
 // the symbol table, and the sub-δ ledger are all copied. The clone is safe
 // to mutate — in particular to delta-patch — while readers keep using the
-// original.
+// original. Cloning a lazily loaded cube materializes it (every section
+// decoded fresh, bypassing the shared LRU); if the snapshot turns out to be
+// corrupt mid-decode the clone comes back empty with the error recorded for
+// LazyErr — callers that need the failure as an error use Materialize.
 func (c *Cube) Clone() *Cube {
+	if c.lazy != nil {
+		full, err := c.lazy.materialize(c)
+		if err != nil {
+			c.lazy.noteErr(err)
+			return &Cube{
+				Schema:   c.Schema,
+				Config:   c.Config,
+				Symbols:  c.Symbols.Clone(),
+				Mining:   c.Mining,
+				Cuboids:  make(map[string]*Cuboid),
+				minCount: c.minCount,
+				appended: c.appended,
+				ledger:   c.ledger.clone(),
+			}
+		}
+		return full
+	}
 	clone := &Cube{
 		Schema:   c.Schema,
 		Config:   c.Config,

@@ -242,3 +242,91 @@ func decodeFlatGraph(r *byteReader) (*flowgraph.Flat, error) {
 	}
 	return f, nil
 }
+
+// skipFlatGraph advances r past one encoded flat graph without allocating
+// any of its columns. The lazy loader's flat scans (cuboid summaries, cell
+// sortedness checks) use it to walk a cuboid section's cells touching only
+// the per-cell prefixes. Varint pools can be skipped by value count alone —
+// the delta restarts change which values are zigzag-coded, not how many
+// byte groups there are — so only the length headers are decoded, with the
+// same remaining-bytes bounds as the full decoder. A graph that skips clean
+// can still fail the full decode (pool monotonicity, Unflatten structure);
+// the point here is cheap traversal, not validation.
+func skipFlatGraph(r *byteReader) error {
+	if err := r.skipVarints(1, "path count"); err != nil {
+		return err
+	}
+	n, err := r.count("node")
+	if err != nil {
+		return err
+	}
+	if n < 1 {
+		return r.corrupt("flat graph has no root node")
+	}
+	// Locations, counts, child-range widths: three varints per node.
+	if err := r.skipVarints(3*n, "node columns"); err != nil {
+		return err
+	}
+	total := 0
+	for i := 0; i < n; i++ {
+		durLen, err := r.count("duration outcome")
+		if err != nil {
+			return err
+		}
+		trLen, err := r.count("transition outcome")
+		if err != nil {
+			return err
+		}
+		total += durLen + trLen
+		if total > r.rem() {
+			return r.corrupt("distribution pool larger than remaining section")
+		}
+	}
+	// Outcome pool and weight column: one varint group per value each.
+	if err := r.skipVarints(2*total, "distribution pools"); err != nil {
+		return err
+	}
+
+	m, err := r.count("exception")
+	if err != nil {
+		return err
+	}
+	if m == 0 {
+		return nil
+	}
+	pinTotal, excTotal := 0, 0
+	for j := 0; j < m; j++ {
+		if err := r.skipVarints(2, "exception header"); err != nil {
+			return err
+		}
+		if err := r.skipBytes(16, "exception deviations"); err != nil {
+			return err
+		}
+		pins, err := r.count("pin")
+		if err != nil {
+			return err
+		}
+		durLen, err := r.count("exception duration outcome")
+		if err != nil {
+			return err
+		}
+		trLen, err := r.count("exception transition outcome")
+		if err != nil {
+			return err
+		}
+		pinTotal += pins
+		excTotal += durLen + trLen
+		if pinTotal > r.rem() || excTotal > r.rem() {
+			return r.corrupt("exception pools larger than remaining section")
+		}
+	}
+	for i := 0; i < pinTotal; i++ {
+		if err := r.skipVarints(3, "pin"); err != nil {
+			return err
+		}
+		if err := r.skipBytes(1, "pin flag"); err != nil {
+			return err
+		}
+	}
+	return r.skipVarints(2*excTotal, "exception pools")
+}

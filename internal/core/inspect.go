@@ -19,44 +19,59 @@ import (
 // and every flowgraph passes its own validation. It returns the first
 // violation.
 func (c *Cube) Validate() error {
+	if c.lazy != nil {
+		// Lazy cubes validate by decoding every section through the LRU;
+		// decode failures surface here as *CorruptSnapshotError instead of
+		// being swallowed like the error-less query paths must.
+		return c.lazy.validate(c)
+	}
 	// Walk cuboids and cells in sorted order so the *first* violation
 	// reported is the same on every run — a nondeterministic error message
 	// makes failures impossible to diff across reruns.
 	for _, cb := range c.sortedCuboids() {
-		key := cb.Spec.Key()
-		if len(cb.Spec.Item) != len(c.Schema.Dims) {
-			return fmt.Errorf("core: cuboid %s item level arity %d != %d dims",
-				key, len(cb.Spec.Item), len(c.Schema.Dims))
+		if err := c.validateCuboid(cb); err != nil {
+			return err
 		}
-		for _, cell := range cb.SortedCells() {
-			if cell.Count < c.minCount {
-				return fmt.Errorf("core: cuboid %s holds cell %v below the iceberg threshold (%d < %d)",
-					key, cell.Values, cell.Count, c.minCount)
-			}
-			for d, v := range cell.Values {
-				lvl := cb.Spec.Item[d]
-				if lvl == 0 {
-					if v != hierarchy.Root {
-						return fmt.Errorf("core: cuboid %s cell %v has a concrete value in a '*' dimension",
-							key, cell.Values)
-					}
-					continue
+	}
+	return nil
+}
+
+// validateCuboid checks one cuboid's structural invariants; the per-cuboid
+// body of Validate, shared with the lazy path.
+func (c *Cube) validateCuboid(cb *Cuboid) error {
+	key := cb.Spec.Key()
+	if len(cb.Spec.Item) != len(c.Schema.Dims) {
+		return fmt.Errorf("core: cuboid %s item level arity %d != %d dims",
+			key, len(cb.Spec.Item), len(c.Schema.Dims))
+	}
+	for _, cell := range cb.SortedCells() {
+		if cell.Count < c.minCount {
+			return fmt.Errorf("core: cuboid %s holds cell %v below the iceberg threshold (%d < %d)",
+				key, cell.Values, cell.Count, c.minCount)
+		}
+		for d, v := range cell.Values {
+			lvl := cb.Spec.Item[d]
+			if lvl == 0 {
+				if v != hierarchy.Root {
+					return fmt.Errorf("core: cuboid %s cell %v has a concrete value in a '*' dimension",
+						key, cell.Values)
 				}
-				if c.Schema.Dims[d].Level(v) != lvl {
-					return fmt.Errorf("core: cuboid %s cell %v value %d not at level %d",
-						key, cell.Values, v, lvl)
-				}
-			}
-			if cell.Graph == nil {
 				continue
 			}
-			if cell.Graph.Paths() != cell.Count {
-				return fmt.Errorf("core: cuboid %s cell %v count %d != graph paths %d",
-					key, cell.Values, cell.Count, cell.Graph.Paths())
+			if c.Schema.Dims[d].Level(v) != lvl {
+				return fmt.Errorf("core: cuboid %s cell %v value %d not at level %d",
+					key, cell.Values, v, lvl)
 			}
-			if err := cell.Graph.Validate(); err != nil {
-				return fmt.Errorf("core: cuboid %s cell %v: %w", key, cell.Values, err)
-			}
+		}
+		if cell.Graph == nil {
+			continue
+		}
+		if cell.Graph.Paths() != cell.Count {
+			return fmt.Errorf("core: cuboid %s cell %v count %d != graph paths %d",
+				key, cell.Values, cell.Count, cell.Graph.Paths())
+		}
+		if err := cell.Graph.Validate(); err != nil {
+			return fmt.Errorf("core: cuboid %s cell %v: %w", key, cell.Values, err)
 		}
 	}
 	return nil
@@ -82,17 +97,30 @@ func (r RankedException) Severity() float64 {
 // k <= 0 returns all.
 func (c *Cube) TopExceptions(k int) []RankedException {
 	var out []RankedException
-	for _, cb := range c.sortedCuboids() {
-		for _, cell := range cb.SortedCells() {
-			if cell.Graph == nil {
-				continue
-			}
-			for _, x := range cell.Graph.Exceptions() {
-				out = append(out, RankedException{
-					Spec:      cb.Spec,
-					Values:    cell.Values,
-					Exception: x,
-				})
+	if c.lazy != nil {
+		// Flat scan over the mapped sections: exceptions come straight from
+		// the struct-of-arrays columns (flowgraph.FlatExceptions) in the
+		// same sorted cuboid/cell/mining order the eager walk produces, so
+		// the identical stable sort below yields the identical ranking.
+		xs, err := c.lazy.topExceptions()
+		if err != nil {
+			c.lazy.noteErr(err)
+			return nil
+		}
+		out = xs
+	} else {
+		for _, cb := range c.sortedCuboids() {
+			for _, cell := range cb.SortedCells() {
+				if cell.Graph == nil {
+					continue
+				}
+				for _, x := range cell.Graph.Exceptions() {
+					out = append(out, RankedException{
+						Spec:      cb.Spec,
+						Values:    cell.Values,
+						Exception: x,
+					})
+				}
 			}
 		}
 	}

@@ -34,6 +34,17 @@ import (
 // incr.ApplyDelta clone first). The mining result is dropped: it describes
 // the whole build, not the kept subset.
 func (c *Cube) FilterCells(keep func(values []hierarchy.NodeID) bool) *Cube {
+	if c.lazy != nil {
+		// Filtering needs every cell in hand: materialize the lazy cube
+		// first (a decode failure yields an empty filtered cube, with the
+		// error recorded for LazyErr).
+		full, err := c.lazy.materialize(c)
+		if err != nil {
+			c.lazy.noteErr(err)
+			full = c.Clone() // empty skeleton; Clone already recorded the error
+		}
+		c = full
+	}
 	out := &Cube{
 		Schema:   c.Schema,
 		Config:   c.Config,
@@ -75,6 +86,23 @@ func (c *Cube) FilterCells(keep func(values []hierarchy.NodeID) bool) *Cube {
 func Merge(shards []*Cube) (*Cube, error) {
 	if len(shards) == 0 {
 		return nil, fmt.Errorf("core: merge of zero shards")
+	}
+	copied := false
+	for i, s := range shards {
+		if s.lazy == nil {
+			continue
+		}
+		// Merging walks every shard's cell maps: lazily loaded shards are
+		// materialized first (into a copy — the input slice is not mutated).
+		full, err := s.lazy.materialize(s)
+		if err != nil {
+			return nil, fmt.Errorf("core: merge shard %d: %w", i, err)
+		}
+		if !copied {
+			shards = append([]*Cube(nil), shards...)
+			copied = true
+		}
+		shards[i] = full
 	}
 	first := shards[0]
 	out := &Cube{

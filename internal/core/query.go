@@ -57,6 +57,10 @@ func (c *Cube) ParentRefs(spec CuboidSpec, values []hierarchy.NodeID) []CellRef 
 // lattices) are left at SimilarityUnknown rather than a fabricated ϕ = 1,
 // which would read as "maximally redundant" in summaries and persisted
 // output.
+//
+// Like every mutator, it must not run on a lazily loaded cube (whose
+// Cuboids map is empty — the walk would be a silent no-op); Materialize
+// first.
 func (c *Cube) MarkRedundancy(tau float64) int {
 	n := 0
 	for _, cb := range c.Cuboids {
@@ -101,7 +105,8 @@ func (c *Cube) MarkCellRedundancy(spec CuboidSpec, cell *Cell, tau float64) bool
 
 // Compress removes redundant cells from the cube, yielding the paper's
 // non-redundant flowcube. It returns the number of cells removed.
-// MarkRedundancy (or Build with Tau > 0) must have run first.
+// MarkRedundancy (or Build with Tau > 0) must have run first. Like every
+// mutator, it must not run on a lazily loaded cube; Materialize first.
 func (c *Cube) Compress() int {
 	n := 0
 	for _, cb := range c.Cuboids {

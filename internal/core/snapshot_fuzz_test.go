@@ -2,6 +2,8 @@ package core_test
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"flowcube/internal/core"
@@ -35,23 +37,67 @@ func FuzzLoadSnapshot(f *testing.F) {
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		loaded, err := core.Load(bytes.NewReader(data))
-		if err != nil {
+		var first bytes.Buffer
+		if err == nil {
+			if err := loaded.Save(&first); err != nil {
+				t.Fatalf("accepted cube does not save: %v", err)
+			}
+			reloaded, err := core.Load(bytes.NewReader(first.Bytes()))
+			if err != nil {
+				t.Fatalf("saved copy of accepted cube does not load: %v", err)
+			}
+			var second bytes.Buffer
+			if err := reloaded.Save(&second); err != nil {
+				t.Fatalf("re-save failed: %v", err)
+			}
+			if !bytes.Equal(first.Bytes(), second.Bytes()) {
+				t.Fatalf("save→load→save is not a fixed point: %d vs %d bytes", first.Len(), second.Len())
+			}
+		}
+
+		// The lazy open fronts the same files: whatever the input, it must
+		// reject with an error or yield a cube whose deferred decodes
+		// surface corruption as errors — never a panic — and whose Save
+		// bytes represent the same cube the eager loader accepted.
+		path := filepath.Join(t.TempDir(), "fuzz.fcb")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		lz, lerr := core.LoadCubeLazy(path, core.LazyOptions{CacheBytes: 1 << 16})
+		if lerr != nil {
 			return // rejected without panicking: fine
 		}
-		var first bytes.Buffer
-		if err := loaded.Save(&first); err != nil {
-			t.Fatalf("accepted cube does not save: %v", err)
+		defer lz.Close()
+		lz.NumCells()
+		lz.CuboidSummaries()
+		lz.TopExceptions(5)
+		vErr := lz.Validate()
+		var lzBytes bytes.Buffer
+		sErr := lz.Save(&lzBytes)
+		if err != nil || first.Len() == 0 {
+			return // the eager loader rejected the input; nothing to compare
 		}
-		reloaded, err := core.Load(bytes.NewReader(first.Bytes()))
-		if err != nil {
-			t.Fatalf("saved copy of accepted cube does not load: %v", err)
+		if vErr != nil {
+			t.Fatalf("eagerly loadable snapshot fails lazy validation: %v", vErr)
 		}
-		var second bytes.Buffer
-		if err := reloaded.Save(&second); err != nil {
-			t.Fatalf("re-save failed: %v", err)
+		if sErr != nil {
+			t.Fatalf("eagerly loadable snapshot fails lazy save: %v", sErr)
 		}
-		if !bytes.Equal(first.Bytes(), second.Bytes()) {
-			t.Fatalf("save→load→save is not a fixed point: %d vs %d bytes", first.Len(), second.Len())
+		if !bytes.Equal(lzBytes.Bytes(), first.Bytes()) {
+			// Raw section copies preserve non-canonical (padded-varint)
+			// payloads the eager re-encode would normalize; the lazy bytes
+			// must still round-trip to the eager fixed point.
+			relz, err := core.Load(bytes.NewReader(lzBytes.Bytes()))
+			if err != nil {
+				t.Fatalf("lazy save does not load: %v", err)
+			}
+			var norm bytes.Buffer
+			if err := relz.Save(&norm); err != nil {
+				t.Fatalf("re-save of lazy bytes failed: %v", err)
+			}
+			if !bytes.Equal(norm.Bytes(), first.Bytes()) {
+				t.Fatalf("lazy save diverged from the eager cube: %d vs %d bytes", norm.Len(), first.Len())
+			}
 		}
 	})
 }

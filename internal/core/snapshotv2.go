@@ -157,6 +157,34 @@ func (r *byteReader) byte() (byte, error) {
 	return b, nil
 }
 
+// skipVarints advances past k varint-coded values without decoding them.
+// Signed (zigzag) and unsigned varints share the continuation-bit framing,
+// so skipping needs no knowledge of which one was written.
+func (r *byteReader) skipVarints(k int, what string) error {
+	for i := 0; i < k; i++ {
+		for {
+			if r.off >= len(r.buf) {
+				return r.corrupt("truncated %s at offset %d", what, r.off)
+			}
+			b := r.buf[r.off]
+			r.off++
+			if b < 0x80 {
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// skipBytes advances past k raw bytes (fixed-width floats, flag bytes).
+func (r *byteReader) skipBytes(k int, what string) error {
+	if r.rem() < k {
+		return r.corrupt("truncated %s at offset %d", what, r.off)
+	}
+	r.off += k
+	return nil
+}
+
 func (r *byteReader) float64() (float64, error) {
 	if r.rem() < 8 {
 		return 0, r.corrupt("truncated float at offset %d", r.off)
@@ -287,50 +315,17 @@ func (c *Cube) Save(w io.Writer) error {
 	return c.SaveWith(w, SaveOptions{Workers: c.Config.Workers})
 }
 
-// SaveWith is Save with explicit codec options.
+// SaveWith is Save with explicit codec options. A lazily loaded cube saves
+// through its backend: cuboid sections stored with sorted cells — every
+// file this package writes — are raw byte copies straight from the mapping,
+// so the output is identical to an eager load-then-save without decoding a
+// single cell.
 func (c *Cube) SaveWith(w io.Writer, opts SaveOptions) error {
+	if c.lazy != nil {
+		return c.lazy.save(c, w)
+	}
 	cuboids := c.sortedCuboids()
-
-	var header []byte
-	header = binary.AppendUvarint(header, formatVersionV2)
-	header = binary.AppendVarint(header, c.minCount)
-	header = binary.LittleEndian.AppendUint64(header, math.Float64bits(c.Config.Epsilon))
-	header = binary.LittleEndian.AppendUint64(header, math.Float64bits(c.Config.Tau))
-	header = binary.AppendUvarint(header, uint64(len(c.Schema.Dims)))
-	header = binary.AppendUvarint(header, uint64(len(c.Symbols.PathLevels())))
-	header = binary.AppendUvarint(header, uint64(len(cuboids)))
-
-	var hiers []byte
-	hiers = appendHierarchyV2(hiers, c.Schema.Location)
-	for _, h := range c.Schema.Dims {
-		hiers = appendHierarchyV2(hiers, h)
-	}
-
-	var plan []byte
-	dimLevels := c.Symbols.DimLevels()
-	plan = binary.AppendUvarint(plan, uint64(len(dimLevels)))
-	for _, levels := range dimLevels {
-		plan = binary.AppendUvarint(plan, uint64(len(levels)))
-		for _, l := range levels {
-			plan = binary.AppendUvarint(plan, uint64(l))
-		}
-	}
-	pathLevels := c.Symbols.PathLevels()
-	plan = binary.AppendUvarint(plan, uint64(len(pathLevels)))
-	for _, pl := range pathLevels {
-		nodes := pl.Cut.Nodes()
-		plan = binary.AppendUvarint(plan, uint64(len(nodes)))
-		for _, nd := range nodes {
-			plan = binary.AppendUvarint(plan, uint64(uint32(nd)))
-		}
-		if pl.Time.Any {
-			plan = append(plan, 1)
-		} else {
-			plan = append(plan, 0)
-		}
-		plan = binary.AppendVarint(plan, pl.Time.Grain)
-	}
-
+	header, hiers, plan := encodeMetaSectionsV2(c, len(cuboids))
 	sections := encodeCuboidsV2(cuboids, opts.Workers)
 
 	if _, err := io.WriteString(w, magicV2); err != nil {
@@ -650,180 +645,214 @@ func (p *preambleV2) cube() *Cube {
 	}
 }
 
-// loadPreambleV2 decodes the magic, header, hierarchies and plan sections
-// from br; ctx is checked between sections.
-func loadPreambleV2(ctx context.Context, br *bufio.Reader) (*preambleV2, error) {
-	if _, err := br.Discard(len(magicV2)); err != nil {
-		return nil, err
-	}
+// headerV2 is the decoded header section: thresholds plus the census of the
+// other sections. The counts are a census of *other* sections, so the
+// byteReader's remaining-bytes bound does not apply to them; each is
+// re-bounded against the section that actually carries the elements before
+// anything is allocated from it.
+type headerV2 struct {
+	minCount      int64
+	epsilon       float64
+	tau           float64
+	numDims       uint64
+	numPathLevels uint64
+	numCuboids    uint64
+}
 
-	// Header.
-	kind, payload, err := sectionPayload(br)
-	if err != nil {
-		return nil, err
-	}
+// decodeHeaderV2 decodes a secHeader payload. Both the streaming loader and
+// the mmap-backed lazy open (lazyload.go) parse through here, so the header
+// format exists in exactly one reader.
+func decodeHeaderV2(payload []byte) (headerV2, error) {
 	hr := &byteReader{section: "header", buf: payload}
-	if kind != secHeader {
-		return nil, hr.corrupt("first section has kind %d, want header", kind)
-	}
+	var h headerV2
 	version, err := hr.uvarint()
 	if err != nil {
-		return nil, err
+		return h, err
 	}
 	if version != formatVersionV2 {
-		return nil, hr.corrupt("format version %d not supported (have %d)", version, formatVersionV2)
+		return h, hr.corrupt("format version %d not supported (have %d)", version, formatVersionV2)
 	}
-	minCount, err := hr.varint()
-	if err != nil {
-		return nil, err
+	if h.minCount, err = hr.varint(); err != nil {
+		return h, err
 	}
-	epsilon, err := hr.float64()
-	if err != nil {
-		return nil, err
+	if h.epsilon, err = hr.float64(); err != nil {
+		return h, err
 	}
-	tau, err := hr.float64()
-	if err != nil {
-		return nil, err
+	if h.tau, err = hr.float64(); err != nil {
+		return h, err
 	}
-	// Header counts are a census of *other* sections, so the byteReader's
-	// remaining-bytes bound does not apply here; each is re-bounded against
-	// the section that actually carries the elements before anything is
-	// allocated from it.
-	numDims64, err := hr.uvarint()
-	if err != nil {
-		return nil, err
+	if h.numDims, err = hr.uvarint(); err != nil {
+		return h, err
 	}
-	numPathLevels64, err := hr.uvarint()
-	if err != nil {
-		return nil, err
+	if h.numPathLevels, err = hr.uvarint(); err != nil {
+		return h, err
 	}
-	numCuboids, err := hr.uvarint()
-	if err != nil {
-		return nil, err
+	if h.numCuboids, err = hr.uvarint(); err != nil {
+		return h, err
 	}
+	return h, nil
+}
 
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-
-	// Hierarchies.
-	kind, payload, err = sectionPayload(br)
-	if err != nil {
-		return nil, err
-	}
+// decodeHierarchiesV2 decodes a secHierarchies payload into the schema:
+// the location hierarchy followed by numDims item dimensions.
+func decodeHierarchiesV2(payload []byte, numDims uint64) (*pathdb.Schema, error) {
 	gr := &byteReader{section: "hierarchies", buf: payload}
-	if kind != secHierarchies {
-		return nil, gr.corrupt("second section has kind %d, want hierarchies", kind)
-	}
 	// Every hierarchy costs at least one byte in this section, so the
 	// header's dimension census cannot honestly exceed its payload.
-	if numDims64 > uint64(len(payload)) {
-		return nil, gr.corrupt("dimension count %d exceeds the %d-byte hierarchies section", numDims64, len(payload))
+	if numDims > uint64(len(payload)) {
+		return nil, gr.corrupt("dimension count %d exceeds the %d-byte hierarchies section", numDims, len(payload))
 	}
-	numDims := int(numDims64)
 	location, err := decodeHierarchyV2(gr)
 	if err != nil {
 		return nil, err
 	}
-	dims := make([]*hierarchy.Hierarchy, numDims)
+	dims := make([]*hierarchy.Hierarchy, int(numDims))
 	for i := range dims {
 		if dims[i], err = decodeHierarchyV2(gr); err != nil {
 			return nil, err
 		}
 	}
-	schema, err := pathdb.NewSchema(location, dims...)
-	if err != nil {
-		return nil, err
-	}
+	return pathdb.NewSchema(location, dims...)
+}
 
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-
-	// Plan.
-	kind, payload, err = sectionPayload(br)
-	if err != nil {
-		return nil, err
-	}
+// decodePlanV2 decodes a secPlan payload against an already-decoded schema,
+// cross-checking the header census.
+func decodePlanV2(payload []byte, schema *pathdb.Schema, h headerV2) (transact.Plan, []pathdb.PathLevel, error) {
 	pr := &byteReader{section: "plan", buf: payload}
-	if kind != secPlan {
-		return nil, pr.corrupt("third section has kind %d, want plan", kind)
-	}
 	nd, err := pr.count("plan dimension")
 	if err != nil {
-		return nil, err
+		return transact.Plan{}, nil, err
 	}
-	if nd != numDims {
-		return nil, pr.corrupt("plan lists %d dimensions, header %d", nd, numDims)
+	if uint64(nd) != h.numDims {
+		return transact.Plan{}, nil, pr.corrupt("plan lists %d dimensions, header %d", nd, h.numDims)
 	}
 	dimLevels := make([][]int, nd)
 	for d := range dimLevels {
 		nl, err := pr.count("dimension level")
 		if err != nil {
-			return nil, err
+			return transact.Plan{}, nil, err
 		}
 		dimLevels[d] = make([]int, nl)
 		for i := range dimLevels[d] {
 			l, err := pr.intVal("level")
 			if err != nil {
-				return nil, err
+				return transact.Plan{}, nil, err
 			}
 			dimLevels[d][i] = l
 		}
 	}
 	npl, err := pr.count("plan path level")
 	if err != nil {
-		return nil, err
+		return transact.Plan{}, nil, err
 	}
-	if uint64(npl) != numPathLevels64 {
-		return nil, pr.corrupt("plan lists %d path levels, header %d", npl, numPathLevels64)
+	if uint64(npl) != h.numPathLevels {
+		return transact.Plan{}, nil, pr.corrupt("plan lists %d path levels, header %d", npl, h.numPathLevels)
 	}
 	levels := make([]pathdb.PathLevel, npl)
 	for i := range levels {
 		nn, err := pr.count("cut node")
 		if err != nil {
-			return nil, err
+			return transact.Plan{}, nil, err
 		}
 		nodes := make([]hierarchy.NodeID, nn)
 		for j := range nodes {
 			id, err := pr.int32()
 			if err != nil {
-				return nil, err
+				return transact.Plan{}, nil, err
 			}
 			nodes[j] = hierarchy.NodeID(id)
 		}
-		cut, err := hierarchy.NewCut(location, nodes)
+		cut, err := hierarchy.NewCut(schema.Location, nodes)
 		if err != nil {
-			return nil, err
+			return transact.Plan{}, nil, err
 		}
 		anyB, err := pr.byte()
 		if err != nil {
-			return nil, err
+			return transact.Plan{}, nil, err
 		}
 		grain, err := pr.varint()
 		if err != nil {
-			return nil, err
+			return transact.Plan{}, nil, err
 		}
 		levels[i] = pathdb.PathLevel{Cut: cut, Time: pathdb.TimeLevel{Grain: grain, Any: anyB != 0}}
 	}
-	plan := transact.Plan{DimLevels: dimLevels, PathLevels: levels}
+	return transact.Plan{DimLevels: dimLevels, PathLevels: levels}, levels, nil
+}
+
+// assemblePreambleV2 combines the three decoded metadata sections into a
+// preamble, building the symbol table.
+func assemblePreambleV2(h headerV2, schema *pathdb.Schema, plan transact.Plan, levels []pathdb.PathLevel) (*preambleV2, error) {
 	syms, err := transact.NewSymbols(schema, plan)
 	if err != nil {
 		return nil, err
 	}
-
 	return &preambleV2{
-		minCount:   minCount,
-		epsilon:    epsilon,
-		tau:        tau,
-		numDims:    numDims,
-		numCuboids: numCuboids,
-		location:   location,
+		minCount:   h.minCount,
+		epsilon:    h.epsilon,
+		tau:        h.tau,
+		numDims:    int(h.numDims),
+		numCuboids: h.numCuboids,
+		location:   schema.Location,
 		schema:     schema,
 		levels:     levels,
 		plan:       plan,
 		syms:       syms,
 	}, nil
+}
+
+// loadPreambleV2 decodes the magic, header, hierarchies and plan sections
+// from br; ctx is checked between sections. The per-section payload parsing
+// is shared with the lazy open path (lazyload.go) — only the framing walk
+// differs.
+func loadPreambleV2(ctx context.Context, br *bufio.Reader) (*preambleV2, error) {
+	if _, err := br.Discard(len(magicV2)); err != nil {
+		return nil, err
+	}
+
+	kind, payload, err := sectionPayload(br)
+	if err != nil {
+		return nil, err
+	}
+	if kind != secHeader {
+		return nil, (&byteReader{section: "header"}).corrupt("first section has kind %d, want header", kind)
+	}
+	h, err := decodeHeaderV2(payload)
+	if err != nil {
+		return nil, err
+	}
+
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	kind, payload, err = sectionPayload(br)
+	if err != nil {
+		return nil, err
+	}
+	if kind != secHierarchies {
+		return nil, (&byteReader{section: "hierarchies"}).corrupt("second section has kind %d, want hierarchies", kind)
+	}
+	schema, err := decodeHierarchiesV2(payload, h.numDims)
+	if err != nil {
+		return nil, err
+	}
+
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	kind, payload, err = sectionPayload(br)
+	if err != nil {
+		return nil, err
+	}
+	if kind != secPlan {
+		return nil, (&byteReader{section: "plan"}).corrupt("third section has kind %d, want plan", kind)
+	}
+	plan, levels, err := decodePlanV2(payload, schema, h)
+	if err != nil {
+		return nil, err
+	}
+	return assemblePreambleV2(h, schema, plan, levels)
 }
 
 // loadV2 decodes a v2 snapshot from br, positioned at the magic; ctx is
@@ -915,7 +944,7 @@ func decodeCuboidsV2(payloads [][]byte, loc *hierarchy.Hierarchy, levels []pathd
 	}
 	if workers <= 1 {
 		for i, p := range payloads {
-			out[i], errs[i] = decodeCuboidV2(p, loc, levels)
+			out[i], _, errs[i] = decodeCuboidV2(p, loc, levels)
 		}
 	} else {
 		var wg sync.WaitGroup
@@ -925,7 +954,7 @@ func decodeCuboidsV2(payloads [][]byte, loc *hierarchy.Hierarchy, levels []pathd
 			go func() {
 				defer wg.Done()
 				for i := range work {
-					out[i], errs[i] = decodeCuboidV2(payloads[i], loc, levels)
+					out[i], _, errs[i] = decodeCuboidV2(payloads[i], loc, levels)
 				}
 			}()
 		}
@@ -943,59 +972,84 @@ func decodeCuboidsV2(payloads [][]byte, loc *hierarchy.Hierarchy, levels []pathd
 	return out, nil
 }
 
-// decodeCuboidV2 decodes one cuboid section payload.
-func decodeCuboidV2(payload []byte, loc *hierarchy.Hierarchy, levels []pathdb.PathLevel) (*Cuboid, error) {
-	r := &byteReader{section: "cuboid", buf: payload}
+// decodeCuboidHeaderV2 decodes the fixed prefix of a cuboid section — the
+// spec and the cell count — leaving r positioned at the first cell. The lazy
+// open path reads just this much per section to build its key-routed index
+// without decoding any cells.
+func decodeCuboidHeaderV2(r *byteReader, levels []pathdb.PathLevel) (CuboidSpec, int, error) {
 	ni, err := r.count("item level")
 	if err != nil {
-		return nil, err
+		return CuboidSpec{}, 0, err
 	}
 	item := make(ItemLevel, ni)
 	for i := range item {
 		l, err := r.intVal("item level value")
 		if err != nil {
-			return nil, err
+			return CuboidSpec{}, 0, err
 		}
 		item[i] = l
 	}
 	pl, err := r.intVal("path level")
 	if err != nil {
-		return nil, err
+		return CuboidSpec{}, 0, err
 	}
 	if pl >= len(levels) {
-		return nil, r.corrupt("path level %d out of range (%d levels)", pl, len(levels))
+		return CuboidSpec{}, 0, r.corrupt("path level %d out of range (%d levels)", pl, len(levels))
 	}
 	spec := CuboidSpec{Item: item, PathLevel: pl}
 	r.section = "cuboid " + spec.Key()
 	numCells, err := r.count("cell")
 	if err != nil {
-		return nil, err
+		return CuboidSpec{}, 0, err
+	}
+	return spec, numCells, nil
+}
+
+// decodeCellPrefixV2 decodes the fixed prefix of one cell — values, count,
+// flags, similarity — leaving r positioned at the flat graph when flags&2 is
+// set. Shared between the full decoder and the lazy flat scans.
+func decodeCellPrefixV2(r *byteReader) (values []hierarchy.NodeID, count int64, flags byte, similarity float64, err error) {
+	nv, err := r.count("cell value")
+	if err != nil {
+		return nil, 0, 0, 0, err
+	}
+	values = make([]hierarchy.NodeID, nv)
+	for i := range values {
+		id, err := r.int32()
+		if err != nil {
+			return nil, 0, 0, 0, err
+		}
+		values[i] = hierarchy.NodeID(id)
+	}
+	if count, err = r.varint(); err != nil {
+		return nil, 0, 0, 0, err
+	}
+	if flags, err = r.byte(); err != nil {
+		return nil, 0, 0, 0, err
+	}
+	if similarity, err = r.float64(); err != nil {
+		return nil, 0, 0, 0, err
+	}
+	return values, count, flags, similarity, nil
+}
+
+// decodeCuboidV2 decodes one cuboid section payload. The second result is an
+// estimate of the decoded cuboid's resident heap footprint in bytes (cells,
+// nodes, children maps, multinomial maps), which the lazy loader's LRU uses
+// as the eviction cost so its byte budget tracks decoded size rather than
+// the much smaller encoded payload.
+func decodeCuboidV2(payload []byte, loc *hierarchy.Hierarchy, levels []pathdb.PathLevel) (*Cuboid, int64, error) {
+	r := &byteReader{section: "cuboid", buf: payload}
+	spec, numCells, err := decodeCuboidHeaderV2(r, levels)
+	if err != nil {
+		return nil, 0, err
 	}
 	cb := &Cuboid{Spec: spec, Cells: make(map[string]*Cell, numCells)}
+	var footprint int64
 	for ci := 0; ci < numCells; ci++ {
-		nv, err := r.count("cell value")
+		values, count, flags, similarity, err := decodeCellPrefixV2(r)
 		if err != nil {
-			return nil, err
-		}
-		values := make([]hierarchy.NodeID, nv)
-		for i := range values {
-			id, err := r.int32()
-			if err != nil {
-				return nil, err
-			}
-			values[i] = hierarchy.NodeID(id)
-		}
-		count, err := r.varint()
-		if err != nil {
-			return nil, err
-		}
-		flags, err := r.byte()
-		if err != nil {
-			return nil, err
-		}
-		similarity, err := r.float64()
-		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		cell := &Cell{
 			Values:     values,
@@ -1003,27 +1057,54 @@ func decodeCuboidV2(payload []byte, loc *hierarchy.Hierarchy, levels []pathdb.Pa
 			Redundant:  flags&1 != 0,
 			Similarity: similarity,
 		}
+		footprint += cellBaseFootprint + int64(len(values))*8
 		if flags&2 != 0 {
 			flat, err := decodeFlatGraph(r)
 			if err != nil {
-				return nil, err
+				return nil, 0, err
 			}
-			g, err := flowgraph.Unflatten(loc, levels[pl], flat)
+			footprint += flatFootprint(flat)
+			g, err := flowgraph.Unflatten(loc, levels[spec.PathLevel], flat)
 			if err != nil {
-				return nil, r.corrupt("cell %d: %v", ci, err)
+				return nil, 0, r.corrupt("cell %d: %v", ci, err)
 			}
 			cell.Graph = g
 		}
 		key := cellKey(values)
 		if _, dup := cb.Cells[key]; dup {
-			return nil, r.corrupt("duplicate cell %s", key)
+			return nil, 0, r.corrupt("duplicate cell %s", key)
 		}
 		cb.Cells[key] = cell
 	}
 	if r.rem() != 0 {
-		return nil, r.corrupt("%d trailing bytes", r.rem())
+		return nil, 0, r.corrupt("%d trailing bytes", r.rem())
 	}
-	return cb, nil
+	return cb, footprint, nil
+}
+
+// Decoded-footprint model constants: rough per-object heap costs of the
+// pointer-form structures Unflatten builds (struct size plus map-bucket
+// share). They only steer LRU eviction, so being within ~2x of the
+// allocator's truth is enough.
+const (
+	cellBaseFootprint = 160 // Cell + cuboid map entry + key string
+	nodeFootprint     = 176 // Node + children map entry share
+	distFootprint     = 64  // Multinomial struct + empty map header
+	outcomeFootprint  = 52  // one map[int64]int64 entry share
+	pinFootprint      = 40  // StagePin
+	excFootprint      = 128 // Exception struct
+)
+
+// flatFootprint estimates the decoded (pointer-form) heap footprint of one
+// flat graph.
+func flatFootprint(f *flowgraph.Flat) int64 {
+	n := int64(f.NumNodes())
+	m := int64(len(f.ExcNode))
+	return n*nodeFootprint +
+		2*(n+m)*distFootprint +
+		int64(len(f.Outcomes)+len(f.ExcOutcomes))*outcomeFootprint +
+		int64(len(f.PinDepth))*pinFootprint +
+		m*excFootprint
 }
 
 // decodeHierarchyV2 reads one hierarchy written by appendHierarchyV2.

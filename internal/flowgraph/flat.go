@@ -279,3 +279,76 @@ func Unflatten(loc *hierarchy.Hierarchy, level pathdb.PathLevel, f *Flat) (*Grap
 	}
 	return g, nil
 }
+
+// FlatExceptions extracts a flat graph's exception table without rebuilding
+// the pointer tree — the lazy loader's exception scans call it so TopK
+// queries over a mapped snapshot never materialize a cell. Exceptions come
+// back in flat (mining) order with the same Support, Condition, deviations
+// and conditional distributions Unflatten would produce. The Node chain is
+// minimal: only the nodes on each exception's root path are materialized,
+// with Location, Depth, Count and the parent link set (enough for Prefix and
+// rendering) but nil distribution pointers and no children.
+func FlatExceptions(f *Flat) ([]Exception, error) {
+	if err := f.validate(); err != nil {
+		return nil, err
+	}
+	m := len(f.ExcNode)
+	if m == 0 {
+		return nil, nil
+	}
+	n := f.NumNodes()
+	// Invert the BFS child ranges into a parent column; validate proved the
+	// ranges partition [1, n), so every non-root node is assigned exactly once.
+	parent := make([]int32, n)
+	parent[0] = -1
+	for i := 0; i < n; i++ {
+		for j := f.ChildLo[i]; j < f.ChildLo[i+1]; j++ {
+			parent[j] = int32(i)
+		}
+	}
+	nodes := make(map[int32]*Node, 2*m)
+	var materialize func(idx int32) *Node
+	materialize = func(idx int32) *Node {
+		if nd, ok := nodes[idx]; ok {
+			return nd
+		}
+		nd := &Node{Location: hierarchy.NodeID(f.Locations[idx]), Count: f.Counts[idx]}
+		nodes[idx] = nd
+		if idx != 0 {
+			p := materialize(parent[idx])
+			nd.parent = p
+			nd.Depth = p.Depth + 1
+		}
+		return nd
+	}
+	pins := make([]StagePin, len(f.PinDepth))
+	for i := range pins {
+		pins[i] = StagePin{
+			Depth:    int(f.PinDepth[i]),
+			Location: hierarchy.NodeID(f.PinLoc[i]),
+			Duration: f.PinDur[i],
+			DurAny:   f.PinDurAny[i],
+		}
+	}
+	dists := make([]stats.Multinomial, 2*m)
+	out := make([]Exception, m)
+	for j := 0; j < m; j++ {
+		x := &out[j]
+		x.Node = materialize(f.ExcNode[j])
+		x.Condition = pins[f.ExcPinLo[j]:f.ExcPinLo[j+1]:f.ExcPinLo[j+1]]
+		x.Support = f.ExcSupport[j]
+		x.DurationDeviation = f.ExcDurDev[j]
+		x.TransitionDeviation = f.ExcTrDev[j]
+		d := &dists[2*j]
+		if err := d.InitSorted(f.ExcOutcomes[f.ExcDurLo[j]:f.ExcTrLo[j]], f.ExcWeights[f.ExcDurLo[j]:f.ExcTrLo[j]]); err != nil {
+			return nil, err
+		}
+		x.Durations = d
+		t := &dists[2*j+1]
+		if err := t.InitSorted(f.ExcOutcomes[f.ExcTrLo[j]:f.ExcDurLo[j+1]], f.ExcWeights[f.ExcTrLo[j]:f.ExcDurLo[j+1]]); err != nil {
+			return nil, err
+		}
+		x.Transitions = t
+	}
+	return out, nil
+}

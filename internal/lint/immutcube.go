@@ -39,6 +39,7 @@ var immutAllowedFiles = map[string]map[string]bool{
 		"delta.go":      true,
 		"persist.go":    true,
 		"snapshotv2.go": true,
+		"lazyload.go":   true,
 		"query.go":      true,
 		"partition.go":  true,
 	},

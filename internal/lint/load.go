@@ -3,6 +3,7 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -22,7 +23,12 @@ import (
 // for callers that chdir to it.
 //
 // Test files (_test.go) are not loaded: the analyzers enforce production
-// contracts, and tests legitimately construct and mutate cubes.
+// contracts, and tests legitimately construct and mutate cubes. Files
+// excluded by build constraints (//go:build lines or _GOOS filename
+// suffixes) for the host build context are skipped too — otherwise a pair
+// of mutually exclusive platform files (mmap_linux.go / mmap_fallback.go)
+// would type-check as one package and collide on their shared
+// declarations.
 
 // Package is one parsed and type-checked package.
 type Package struct {
@@ -223,17 +229,23 @@ func hasGoFiles(dir string) bool {
 		return false
 	}
 	for _, e := range ents {
-		if isSourceFile(e) {
+		if isSourceFile(dir, e) {
 			return true
 		}
 	}
 	return false
 }
 
-func isSourceFile(e os.DirEntry) bool {
+func isSourceFile(dir string, e os.DirEntry) bool {
 	name := e.Name()
-	return !e.IsDir() && strings.HasSuffix(name, ".go") &&
-		!strings.HasSuffix(name, "_test.go") && !strings.HasPrefix(name, ".")
+	if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+		strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+		return false
+	}
+	// MatchFile applies //go:build constraints and _GOOS/_GOARCH filename
+	// suffixes against the host build context, like the compiler would.
+	match, err := build.Default.MatchFile(dir, name)
+	return err == nil && match
 }
 
 func checkDir(fset *token.FileSet, imp types.Importer, dir, pkgPath string) (*Package, error) {
@@ -243,7 +255,7 @@ func checkDir(fset *token.FileSet, imp types.Importer, dir, pkgPath string) (*Pa
 	}
 	var names []string
 	for _, e := range ents {
-		if isSourceFile(e) {
+		if isSourceFile(dir, e) {
 			names = append(names, e.Name())
 		}
 	}

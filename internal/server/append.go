@@ -68,7 +68,19 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	cube := snap.Cube.Clone()
+	// Materialize rather than Clone: a lazily served snapshot must be fully
+	// decoded before delta-patching, and a corrupt section should fail the
+	// append loudly instead of patching an empty skeleton. It runs under
+	// adminMu for the same reason ApplyDelta does below — the decode must
+	// see the snapshot fetched under this lock, or a concurrent reload could
+	// swap mid-materialize and the patch would target a stale cube.
+	//flowlint:ignore lockblock materialize-patch-swap is single-flight by design; reads bypass adminMu via holder.get
+	cube, err := snap.Cube.Materialize()
+	if err != nil {
+		writeError(w, &httpError{http.StatusInternalServerError,
+			fmt.Sprintf("materialize serving snapshot for append: %v", err)})
+		return
+	}
 	db := &pathdb.DB{Schema: snap.DB.Schema, Records: append([]pathdb.Record(nil), snap.DB.Records...)}
 	start := time.Now()
 	// adminMu is deliberately held across ApplyDelta: appends are

@@ -136,6 +136,7 @@ func (s *Server) Metrics() MetricsSnapshot {
 			LoadMs:   float64(snap.LoadDuration.Nanoseconds()) / 1e6,
 			Bytes:    snap.Bytes,
 			LoadedAt: snap.LoadedAt.UTC().Format(time.RFC3339),
+			Lazy:     lazyMetrics(snap.Cube.LazyStats()),
 		}
 	}
 	return out
@@ -285,6 +286,12 @@ func computeCell(cube *core.Cube, cellSpec string, pathLevel int, format string)
 	spec := core.CuboidSpec{Item: il, PathLevel: pathLevel}
 	g, src, exact, ok := cube.QueryGraph(spec, values)
 	if !ok {
+		// A lazily loaded cube answers "not found" both for genuinely absent
+		// cells and when the section holding them failed to decode; the
+		// sticky LazyErr disambiguates corruption (500) from absence (404).
+		if err := cube.LazyErr(); err != nil {
+			return nil, &httpError{http.StatusInternalServerError, err.Error()}
+		}
 		return nil, &httpError{http.StatusNotFound,
 			fmt.Sprintf("no materialized cell answers %q (even by roll-up)", cellSpec)}
 	}
@@ -313,12 +320,35 @@ func computeCell(cube *core.Cube, cellSpec string, pathLevel int, format string)
 	return &cached{status: http.StatusOK, contentType: "application/json", body: body}, nil
 }
 
+// checkLazy reports a lazily loaded snapshot's sticky decode error, if any,
+// as a 500. The error-less cube walks (summaries, exceptions, roll-ups)
+// degrade to empty answers when a mapped section turns out corrupt; the
+// post-render check here keeps the server from passing that degradation off
+// as a legitimately small cube.
+func checkLazy(w http.ResponseWriter, snap *Snapshot) bool {
+	if err := snap.Cube.LazyErr(); err != nil {
+		writeError(w, &httpError{http.StatusInternalServerError, err.Error()})
+		return false
+	}
+	return true
+}
+
 func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, renderSummary(s.holder.get()))
+	snap := s.holder.get()
+	resp := renderSummary(snap)
+	if !checkLazy(w, snap) {
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleCuboids(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, renderCuboids(s.holder.get()))
+	snap := s.holder.get()
+	resp := renderCuboids(snap)
+	if !checkLazy(w, snap) {
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleExceptions(w http.ResponseWriter, r *http.Request) {
@@ -331,9 +361,13 @@ func (s *Server) handleExceptions(w http.ResponseWriter, r *http.Request) {
 		}
 		k = n
 	}
-	cube := s.holder.get().Cube
+	snap := s.holder.get()
+	resp := renderExceptions(snap.Cube, k)
+	if !checkLazy(w, snap) {
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"exceptions": renderExceptions(cube, k),
+		"exceptions": resp,
 	})
 }
 
@@ -367,12 +401,22 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	s.metrics.reloads.Add(1)
 	s.logger.Printf("reloaded snapshot from %s: %d cells, %d bytes in %s",
 		snap.Source, snap.Cube.NumCells(), snap.Bytes, snap.LoadDuration.Round(time.Microsecond))
+	// A lazy open maps the file and decodes nothing, so mapped_bytes is the
+	// whole snapshot and decoded_bytes starts near zero; an eager open holds
+	// the full decoded cube, reported as decoded_bytes with nothing mapped.
+	lazy, mapped, decoded := false, int64(0), snap.Bytes
+	if st, ok := snap.Cube.LazyStats(); ok {
+		lazy, mapped, decoded = true, st.MappedBytes, st.DecodedBytes
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":         "reloaded",
 		"cells":          snap.Cube.NumCells(),
 		"loaded_at":      snap.LoadedAt.UTC().Format(time.RFC3339),
 		"load_ms":        float64(snap.LoadDuration.Nanoseconds()) / 1e6,
 		"snapshot_bytes": snap.Bytes,
+		"lazy":           lazy,
+		"mapped_bytes":   mapped,
+		"decoded_bytes":  decoded,
 	})
 }
 

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -98,6 +99,15 @@ type BuildOptions struct {
 	MineExceptions bool
 	// Workers spreads flowgraph construction across goroutines.
 	Workers int
+	// Lazy opens v2 cube snapshots with core.LoadCubeLazy: the file is
+	// mapped read-only and cuboid sections decode on first touch, so the
+	// server is ready in milliseconds and resident memory stays bounded by
+	// LazyCacheBytes rather than the full cube size. Inputs that are not v2
+	// snapshots (v1 cubes, path databases) fall back to the eager path.
+	Lazy bool
+	// LazyCacheBytes is the decoded-section LRU budget for lazy opens;
+	// 0 means core.DefaultLazyCacheBytes, negative disables eviction.
+	LazyCacheBytes int64
 }
 
 // WithDatabase wraps a loader so the snapshots it produces carry the path
@@ -140,11 +150,27 @@ func WithDatabase(loader Loader, dbPath string) Loader {
 // FileLoader returns a Loader over a file path holding either a persisted
 // cube (flowquery -save, typically .fcb) or a flowgen path database
 // (typically .fdb). The format is sniffed, not inferred from the extension:
-// a cube load is attempted first, then a dataset read plus a full Build
-// with opts. Reload re-reads the file, so replacing it on disk and POSTing
-// /admin/reload rolls the serving snapshot forward.
+// with opts.Lazy a zero-copy mmap open is attempted first, then an eager
+// cube load, then a dataset read plus a full Build with opts. Reload
+// re-reads the file, so replacing it on disk and POSTing /admin/reload
+// rolls the serving snapshot forward — a near-free pointer swap when the
+// snapshot opens lazily.
 func FileLoader(path string, opts BuildOptions) Loader {
 	return func() (*core.Cube, LoadInfo, error) {
+		if opts.Lazy {
+			cube, err := core.LoadCubeLazy(path, core.LazyOptions{CacheBytes: opts.LazyCacheBytes})
+			if err == nil {
+				var info LoadInfo
+				if st, err := os.Stat(path); err == nil {
+					info.Bytes = st.Size()
+				}
+				return cube, info, nil
+			}
+			if !errors.Is(err, core.ErrNotLazySnapshot) {
+				return nil, LoadInfo{}, err
+			}
+			// Not a v2 snapshot — fall through to the eager sniff below.
+		}
 		f, err := os.Open(path)
 		if err != nil {
 			return nil, LoadInfo{}, err

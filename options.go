@@ -41,6 +41,29 @@ func LoadCubeContext(ctx context.Context, r io.Reader) (*Cube, error) {
 	return core.LoadContext(ctx, r)
 }
 
+// LazyOptions configures LoadCubeLazy (decoded-section cache budget).
+type LazyOptions = core.LazyOptions
+
+// LazyStats reports a lazily loaded cube's mapping and cache gauges; see
+// (*Cube).LazyStats.
+type LazyStats = core.LazyStats
+
+// ErrNotLazySnapshot is returned by LoadCubeLazy when the file is not a v2
+// cube snapshot (v1 cubes and path databases need the eager LoadCube path).
+var ErrNotLazySnapshot = core.ErrNotLazySnapshot
+
+// LoadCubeLazy memory-maps a v2 cube snapshot read-only and returns a cube
+// whose cuboid sections decode on first touch, kept in a bounded LRU: the
+// open validates framing and checksums but materializes nothing, so it
+// completes in milliseconds with resident memory bounded by the cache
+// budget rather than the cube size. The returned cube answers the full
+// query surface identically to LoadCube; mutating paths (ApplyDelta on a
+// Clone, FilterCells, Merge) transparently materialize first. Close the
+// cube with (*Cube).Close when done — or let the finalizer unmap it.
+func LoadCubeLazy(path string, opts LazyOptions) (*Cube, error) {
+	return core.LoadCubeLazy(path, opts)
+}
+
 // Option is one functional configuration setting for NewConfig.
 type Option func(*Config)
 

@@ -34,6 +34,12 @@ echo "== go test -race =="
 # byte-for-byte against a single node, under the race detector.
 go test -race ./...
 
+echo "== nommap fallback (lazy serving without mmap) =="
+# The pread fallback behind the nommap build tag is what non-linux builds
+# get; the lazy parity suite must hold there too.
+go build -tags nommap ./...
+go test -tags nommap ./internal/core -run Lazy
+
 echo "== cluster bench smoke =="
 # Tiny multi-process run of the sharded-cluster bench: real re-exec'd shard
 # server processes behind the router. Writes to a scratch file so the
