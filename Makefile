@@ -2,7 +2,7 @@
 # scripts/check.sh (vet + build + flowlint + race-detector tests + cluster
 # bench smoke + short fuzz).
 
-.PHONY: build test check lint fuzz-short fuzz-long bench bench-serve bench-persist bench-incr bench-cluster
+.PHONY: build test check lint fuzz-short fuzz-long bench bench-serve bench-persist bench-incr bench-ingest bench-cluster
 
 build:
 	go build ./...
@@ -29,6 +29,7 @@ fuzz-short:
 	go test ./internal/core -run '^$$' -fuzz FuzzLoadSnapshot -fuzztime 10s -fuzzminimizetime 10x
 	go test ./internal/pathdb -run '^$$' -fuzz FuzzRead -fuzztime 10s
 	go test ./internal/incr -run '^$$' -fuzz FuzzApplyDelta -fuzztime 10s
+	go test ./internal/ingest -run '^$$' -fuzz FuzzWALReplay -fuzztime 10s
 
 # Ten-fold fuzz-short (100s per target): the weekly scheduled CI job. Long
 # enough to reach coverage plateaus the 10s pass misses, short enough that
@@ -38,6 +39,7 @@ fuzz-long:
 	go test ./internal/core -run '^$$' -fuzz FuzzLoadSnapshot -fuzztime 100s -fuzzminimizetime 10x
 	go test ./internal/pathdb -run '^$$' -fuzz FuzzRead -fuzztime 100s
 	go test ./internal/incr -run '^$$' -fuzz FuzzApplyDelta -fuzztime 100s
+	go test ./internal/ingest -run '^$$' -fuzz FuzzWALReplay -fuzztime 100s
 
 # Regenerate the canonical counting-core benchmark suite (scan-1, trie
 # counting, populate) checked in as BENCH_mining.json. Takes ~10 minutes;
@@ -61,6 +63,13 @@ bench-persist:
 # "Incremental maintenance".
 bench-incr:
 	go run ./cmd/flowbench -incr -quiet -incr-out BENCH_incr.json
+
+# Regenerate the ingest write-path benchmark suite (group commit vs
+# serialized appends, reader tail latency under write load, restricted
+# exception re-mine) checked in as BENCH_ingest.json. See DESIGN.md
+# "Ingest write path".
+bench-ingest:
+	go run ./cmd/flowbench -ingest -quiet -ingest-out BENCH_ingest.json
 
 # Regenerate the sharded-cluster benchmark suite (router-fronted 1/2/4
 # shard fleets vs a single node, multi-process) checked in as

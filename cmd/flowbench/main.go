@@ -56,6 +56,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	persistOut := fs.String("persist-out", "", "write the persist benchmark suite as JSON to this file (default stdout)")
 	incr := fs.Bool("incr", false, "run the incremental-maintenance benchmarks (1% batch delta vs full rebuild)")
 	incrOut := fs.String("incr-out", "", "write the incremental benchmark suite as JSON to this file (default stdout)")
+	ingest := fs.Bool("ingest", false, "run the ingest write-path benchmarks (group commit vs serialized appends, reader tail latency, restricted re-mine)")
+	ingestOut := fs.String("ingest-out", "", "write the ingest benchmark suite as JSON to this file (default stdout)")
 	clusterBench := fs.Bool("cluster", false, "run the sharded-cluster benchmarks (single node vs router over 1/2/4 shard processes)")
 	clusterOut := fs.String("cluster-out", "", "write the cluster benchmark suite as JSON to this file (default stdout)")
 	clusterServe := fs.String("cluster-serve", "", "internal: serve one snapshot for the cluster bench (prints the URL, exits on stdin EOF)")
@@ -69,7 +71,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return bench.ClusterServe(context.Background(), *clusterServe, os.Stdin, stdout)
 	}
 
-	if *fig == "" && *ablation == "" && !*micro && !*persist && !*incr && !*clusterBench {
+	if *fig == "" && *ablation == "" && !*micro && !*persist && !*incr && !*ingest && !*clusterBench {
 		*fig = "all"
 	}
 
@@ -166,6 +168,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if *incr {
 		if err := writeJSON(bench.Incr(opts), *incrOut, stdout); err != nil {
+			return err
+		}
+	}
+	if *ingest {
+		if err := writeJSON(bench.Ingest(context.Background(), opts), *ingestOut, stdout); err != nil {
 			return err
 		}
 	}

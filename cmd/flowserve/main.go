@@ -14,6 +14,7 @@
 //	flowserve -in cube.fcb -addr :8080
 //	flowserve -in cube.fcb -lazy                       # mmap, decode on touch
 //	flowserve -in paths.fdb -minsup 0.01 -exceptions   # build at startup
+//	flowserve -in paths.fdb -wal ingest.wal            # durable appends
 //
 //	curl 'localhost:8080/v1/cell?cell=d0=d0.1,d1=*&pathlevel=0'
 //	curl 'localhost:8080/v1/cell?cell=d0=d0.1&format=dot'
@@ -81,6 +82,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	lazyCache := fs.Int64("lazy-cache", 0, "decoded-section LRU budget in bytes for -lazy (0 = default 64 MiB, negative = unbounded)")
 	timeout := fs.Duration("timeout", server.DefaultRequestTimeout, "per-request timeout")
 	cacheSize := fs.Int("cache", server.DefaultCacheSize, "response cache entries (negative disables)")
+	wal := fs.String("wal", "", "write-ahead log path: journal append batches before folding and replay them on startup (empty disables durability)")
+	group := fs.Int("group", 0, "max append requests coalesced per commit group (0 = default 64, 1 = serialize appends)")
 	quiet := fs.Bool("quiet", false, "suppress per-request logging")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -124,6 +127,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		CacheSize:      *cacheSize,
 		Logger:         logger,
 		PostAppend:     postAppend,
+		WALPath:        *wal,
+		GroupLimit:     *group,
 	})
 	if err != nil {
 		return err

@@ -333,7 +333,7 @@ func ClusterServe(ctx context.Context, snapshot string, stdin io.Reader, stdout 
 	// Shards open lazily: per-shard snapshots are v2 files, so the cluster
 	// comes up in milliseconds with each shard's RSS bounded by the section
 	// LRU instead of its full cube (non-v2 inputs fall back to eager).
-	srv, err := server.New(server.FileLoader(snapshot, server.BuildOptions{Lazy: true}), snapshot, server.Config{
+	srv, err := server.NewContext(ctx, server.FileLoader(snapshot, server.BuildOptions{Lazy: true}), snapshot, server.Config{
 		Logger: log.New(io.Discard, "", 0),
 	})
 	if err != nil {

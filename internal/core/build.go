@@ -435,7 +435,12 @@ func (c *Cube) mineExceptions(db *pathdb.DB, conds cellConds) {
 			if cell.Graph == nil {
 				continue
 			}
-			jobs = append(jobs, job{cell: cell, conds: conds[specKey][cellKey(cell.Values)]})
+			ck := cellKey(cell.Values)
+			cellConds := conds[specKey][ck]
+			// Warm the condition cache (conds.go) so the incremental path
+			// knows each cell's full condition set without re-mining it.
+			c.SetCachedConds(specKey, ck, cellConds)
+			jobs = append(jobs, job{cell: cell, conds: cellConds})
 		}
 	}
 	c.forEach(len(jobs), func(i int) {

@@ -1,0 +1,119 @@
+package core
+
+// Condition cache: the per-cell conditional pin-lists the exception miner
+// checked, remembered so the incremental path (internal/incr) can re-derive
+// a cell's conditions from a batch instead of re-mining them from scratch.
+//
+// The cache is in-memory bookkeeping only — it is not serialized into
+// snapshots and has no effect on Save bytes. A cube built with
+// Config.MineExceptions warms it during mineExceptions; a cube loaded from
+// a snapshot starts cold, and the incremental path falls back to a full
+// per-cell re-mine (which warms the entry for next time). Entries are
+// immutable once stored; Clone shares them behind fresh maps.
+
+import (
+	"sort"
+
+	"flowcube/internal/flowgraph"
+)
+
+// CondSet is one cell's cached exception conditions: the pin-lists passed
+// to MineExceptionsFor, plus a canonical-key index for membership tests.
+type CondSet struct {
+	// Pins holds the conditional pin-lists. Read-only.
+	Pins [][]flowgraph.StagePin
+
+	keys map[string]bool
+}
+
+// NewCondSet indexes the given pin-lists. The caller must not mutate pins
+// afterwards; duplicates (same canonical key) are kept in Pins but count
+// once for Has/Len.
+func NewCondSet(pins [][]flowgraph.StagePin) *CondSet {
+	s := &CondSet{Pins: pins, keys: make(map[string]bool, len(pins))}
+	for _, p := range pins {
+		s.keys[CondPinKey(p)] = true
+	}
+	return s
+}
+
+// Has reports whether an equivalent pin-list (same pins, any order) is in
+// the set. A nil set has nothing.
+func (s *CondSet) Has(pins []flowgraph.StagePin) bool {
+	return s != nil && s.keys[CondPinKey(pins)]
+}
+
+// Len reports the number of distinct conditions.
+func (s *CondSet) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.keys)
+}
+
+// CondPinKey renders a pin-list's canonical identity: pins sorted by depth,
+// each encoded with its depth, location, and duration. Two pin-lists get
+// the same key exactly when the exception miner treats them as the same
+// condition.
+func CondPinKey(pins []flowgraph.StagePin) string {
+	cc := append([]flowgraph.StagePin(nil), pins...)
+	sort.Slice(cc, func(i, j int) bool { return cc[i].Depth < cc[j].Depth })
+	var b []byte
+	for _, pin := range cc {
+		b = append(b, byte(pin.Depth), byte(pin.Location))
+		if pin.DurAny {
+			b = append(b, '*')
+		} else {
+			for s := 0; s < 8; s++ {
+				b = append(b, byte(pin.Duration>>(8*s)))
+			}
+		}
+	}
+	return string(b)
+}
+
+// CachedConds returns the cached condition set of a cell (identified by its
+// cuboid spec key and CellKey), with ok=false on a cold cache.
+func (c *Cube) CachedConds(specKey, cellKey string) (*CondSet, bool) {
+	cells := c.condCache[specKey]
+	if cells == nil {
+		return nil, false
+	}
+	s, ok := cells[cellKey]
+	return s, ok
+}
+
+// SetCachedConds records a cell's condition set, replacing any previous
+// entry with a fresh one (entries are immutable; concurrent readers of the
+// old entry are unaffected).
+func (c *Cube) SetCachedConds(specKey, cellKey string, pins [][]flowgraph.StagePin) {
+	if c.condCache == nil {
+		c.condCache = make(map[string]map[string]*CondSet)
+	}
+	cells := c.condCache[specKey]
+	if cells == nil {
+		cells = make(map[string]*CondSet)
+		c.condCache[specKey] = cells
+	}
+	cells[cellKey] = NewCondSet(pins)
+}
+
+// DropCondCache empties the cache, forcing the incremental path back onto
+// the full per-cell re-mine. Tests use it to compare the two paths.
+func (c *Cube) DropCondCache() { c.condCache = nil }
+
+// cloneCondCache shares the immutable entries behind fresh maps.
+func (c *Cube) cloneCondCache() map[string]map[string]*CondSet {
+	if c.condCache == nil {
+		return nil
+	}
+	out := make(map[string]map[string]*CondSet, len(c.condCache))
+	for spec, cells := range c.condCache {
+		n := make(map[string]*CondSet, len(cells))
+		for ck, s := range cells {
+			n[ck] = s
+		}
+		out[spec] = n
+	}
+	return out
+}

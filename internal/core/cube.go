@@ -131,6 +131,9 @@ type Cube struct {
 	// ledger is the sub-δ count store carried when Config.DeltaLedger is
 	// set; see delta.go and internal/incr.
 	ledger *Ledger
+	// condCache remembers each cell's exception conditions
+	// (specKey → CellKey → set); see conds.go. Not serialized.
+	condCache map[string]map[string]*CondSet
 	// lazy is non-nil for cubes opened with LoadCubeLazy: Cuboids stays
 	// empty and the read paths answer from the mapped snapshot through the
 	// backend (see lazyload.go). Mutators need Materialize first.

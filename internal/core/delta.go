@@ -311,14 +311,15 @@ func (c *Cube) Clone() *Cube {
 		return full
 	}
 	clone := &Cube{
-		Schema:   c.Schema,
-		Config:   c.Config,
-		Symbols:  c.Symbols.Clone(),
-		Mining:   c.Mining,
-		Cuboids:  make(map[string]*Cuboid, len(c.Cuboids)),
-		minCount: c.minCount,
-		appended: c.appended,
-		ledger:   c.ledger.clone(),
+		Schema:    c.Schema,
+		Config:    c.Config,
+		Symbols:   c.Symbols.Clone(),
+		Mining:    c.Mining,
+		Cuboids:   make(map[string]*Cuboid, len(c.Cuboids)),
+		minCount:  c.minCount,
+		appended:  c.appended,
+		ledger:    c.ledger.clone(),
+		condCache: c.cloneCondCache(),
 	}
 	for key, cb := range c.Cuboids {
 		ncb := &Cuboid{Spec: cb.Spec, Cells: make(map[string]*Cell, len(cb.Cells))}

@@ -151,6 +151,12 @@ func ApplyDelta(cube *core.Cube, db *pathdb.DB, batch []pathdb.Record) (*Stats, 
 	type touchedCell struct {
 		cuboid *core.Cuboid
 		cell   *core.Cell
+		// batchTIDs are the appended record ids that landed in the cell —
+		// the restricted re-mine derives the moved prefixes from them.
+		batchTIDs []int32
+		// admitted marks newly materialized cells, whose whole graph is new
+		// and must mine in full.
+		admitted bool
 	}
 	var touched []touchedCell
 
@@ -175,7 +181,7 @@ func ApplyDelta(cube *core.Cube, db *pathdb.DB, batch []pathdb.Record) (*Stats, 
 				a.Cell.Graph.ClearExceptions()
 			}
 		}
-		touched = append(touched, touchedCell{a.Cuboid, a.Cell})
+		touched = append(touched, touchedCell{cuboid: a.Cuboid, cell: a.Cell, batchTIDs: a.TIDs})
 	}
 	stats.CellsTouched = len(assignments)
 
@@ -211,37 +217,60 @@ func ApplyDelta(cube *core.Cube, db *pathdb.DB, batch []pathdb.Record) (*Stats, 
 				g.AddPath(db.Records[tid].Path)
 			}
 			cell.Graph = g
-			touched = append(touched, touchedCell{cb, cell})
+			touched = append(touched, touchedCell{cuboid: cb, cell: cell, admitted: true})
 			stats.CellsAdmitted++
 		}
 	}
 
 	// Exceptions: recompute exactly, per touched cell, over its union
-	// records — replacing the old set (MineExceptions replaces; without the
+	// records. With a warm condition cache the restricted path
+	// (restricted.go) retains exceptions at unmoved prefixes and re-mines
+	// only what the batch moved; otherwise — cold cache (cube loaded from a
+	// snapshot) or a freshly admitted cell — fall back to the full re-mine:
+	// replace the whole set (MineExceptions replaces; without the
 	// single-stage pass the set is cleared first since MineExceptionsFor
-	// appends). Conditions are re-derived by in-cell mining (cellConds).
+	// appends) with conditions re-derived by in-cell mining (cellConds),
+	// warming the cache for the next batch. Both paths produce byte-identical
+	// Save output.
 	if cfg.MineExceptions {
 		for _, t := range touched {
 			cell := t.cell
 			if cell.Graph == nil {
 				continue
 			}
+			specKey := t.cuboid.Spec.Key()
+			ck := core.CellKey(cell.Values)
 			tids := cell.TIDs()
 			paths := make([]pathdb.Path, len(tids))
 			for k, tid := range tids {
 				paths[k] = db.Records[tid].Path
 			}
-			if cfg.SingleStageExceptions {
-				cell.Graph.MineExceptions(paths, cfg.Epsilon, minCount)
+			if old, warm := cube.CachedConds(specKey, ck); warm && !t.admitted {
+				movedPrefixes, newConds, err := remineRestricted(cube, db, t.cuboid, cell, t.batchTIDs, paths, old, minCount)
+				if err != nil {
+					return nil, err
+				}
+				if len(newConds) > 0 {
+					all := make([][]flowgraph.StagePin, 0, len(old.Pins)+len(newConds))
+					all = append(append(all, old.Pins...), newConds...)
+					cube.SetCachedConds(specKey, ck, all)
+				}
+				stats.CellsReminedRestricted++
+				stats.PrefixesRemined += movedPrefixes
 			} else {
-				cell.Graph.ClearExceptions()
-			}
-			conds, err := cellConds(cube, db, t.cuboid.Spec.PathLevel, tids)
-			if err != nil {
-				return nil, err
-			}
-			if len(conds) > 0 {
-				cell.Graph.MineExceptionsFor(paths, conds, cfg.Epsilon, minCount)
+				if cfg.SingleStageExceptions {
+					cell.Graph.MineExceptions(paths, cfg.Epsilon, minCount)
+				} else {
+					cell.Graph.ClearExceptions()
+				}
+				conds, err := cellConds(cube, db, t.cuboid.Spec.PathLevel, tids)
+				if err != nil {
+					return nil, err
+				}
+				if len(conds) > 0 {
+					cell.Graph.MineExceptionsFor(paths, conds, cfg.Epsilon, minCount)
+				}
+				cube.SetCachedConds(specKey, ck, conds)
 			}
 			stats.ExceptionsRemined++
 		}

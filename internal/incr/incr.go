@@ -88,6 +88,13 @@ type Stats struct {
 	// ExceptionsRemined is the number of cells whose exception set was
 	// recomputed (0 unless the cube was built with MineExceptions).
 	ExceptionsRemined int `json:"exceptions_remined"`
+	// CellsReminedRestricted is how many of those cells took the restricted
+	// batch-proportional path (warm condition cache; see restricted.go)
+	// instead of a full per-cell re-mine.
+	CellsReminedRestricted int `json:"cells_remined_restricted"`
+	// PrefixesRemined is the total number of moved flowgraph prefixes
+	// (nodes on a batch path) the restricted passes re-aggregated.
+	PrefixesRemined int `json:"prefixes_remined"`
 	// RedundancyRemarked is the number of cells re-marked for redundancy
 	// (touched cells plus their item-lattice children; 0 unless Tau > 0).
 	RedundancyRemarked int `json:"redundancy_remarked"`

@@ -18,8 +18,10 @@ import (
 // The designated files are the build phase and the documented mutating
 // operations: build.go (Build, populate, exception mining), append.go
 // (incremental Append), persist.go and snapshotv2.go (the v1 and v2
-// snapshot decoders reconstruct a cube), and query.go (MarkRedundancy,
-// Compress — documented as must-not-run-concurrently).
+// snapshot decoders reconstruct a cube), query.go (MarkRedundancy,
+// Compress — documented as must-not-run-concurrently), and conds.go
+// (the condition cache, written only on cubes the writer owns
+// exclusively: during build or by incr's delta maintenance on a clone).
 //
 // Detected write forms: field assignment (cell.Count = n, cell.Count++),
 // writes through field-held maps and slices (cb.Cells[k] = v,
@@ -42,6 +44,7 @@ var immutAllowedFiles = map[string]map[string]bool{
 		"lazyload.go":   true,
 		"query.go":      true,
 		"partition.go":  true,
+		"conds.go":      true,
 	},
 	"incr": {
 		"delta.go": true,

@@ -1,10 +1,14 @@
 package server
 
-// POST /admin/append: streaming appends into the serving cube. The handler
-// never edits the live snapshot — it clones the cube and the database,
-// delta-maintains the clone with incr.ApplyDelta (exact against a full
-// rebuild over the union), and swaps the snapshot pointer atomically, so
-// in-flight readers finish against the snapshot they started with.
+// POST /admin/append: streaming appends into the serving cube, the read
+// side of the ingest write path (DESIGN.md §11). The handler parses the
+// body against the serving schema and submits the batch to the group
+// committer (internal/ingest); the commit loop journals each group's
+// batches in the WAL, folds them with one incr.ApplyDelta (exact against a
+// full rebuild over the union), and swaps the snapshot pointer atomically.
+// Readers are never blocked: they stay on the snapshot they loaded, and the
+// record store is copy-on-write (pathdb.Store), so a commit appends O(batch)
+// records instead of copying the whole database.
 
 import (
 	"errors"
@@ -13,6 +17,7 @@ import (
 	"time"
 
 	"flowcube/internal/incr"
+	"flowcube/internal/ingest"
 	"flowcube/internal/pathdb"
 )
 
@@ -21,19 +26,19 @@ import (
 const DefaultMaxAppendBytes = 64 << 20
 
 // handleAppend parses the body as path-database text records (one
-// `dim,...|loc:dur ...` line each, against the serving schema), applies
-// them as a delta, and swaps in the patched snapshot. Appends single-flight
-// with reloads under adminMu.
+// `dim,...|loc:dur ...` line each, against the serving schema) and blocks
+// until the commit group containing the batch has journaled, folded, and
+// swapped — every request in a group is answered with the same committed
+// snapshot's state.
 func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
-	// Parse the body before taking adminMu: reading the request is network
-	// I/O paced by the client, and a slow peer must not stall reloads or
-	// other appends. The schema is fixed per source, so parsing against the
-	// pre-lock snapshot is safe; a mid-flight swap would surface as a
-	// *BatchError from ApplyDelta below.
+	// Parse before submitting: reading the request is network I/O paced by
+	// the client, and a slow peer must not stall the commit loop. The parse
+	// runs against the current snapshot's schema; the batch carries that
+	// snapshot's SchemaGen so a reload landing in between surfaces as a
+	// clean retryable conflict instead of folding against a swapped schema.
 	snap := s.holder.get()
 	if snap.DB == nil {
-		writeError(w, &httpError{http.StatusConflict,
-			"serving snapshot has no path database (loaded from a saved cube); append needs a database-backed snapshot"})
+		writeError(w, errNoAppendDB)
 		return
 	}
 	batchDB, err := pathdb.Read(http.MaxBytesReader(w, r.Body, s.cfg.MaxAppendBytes), snap.DB.Schema)
@@ -56,64 +61,153 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	s.adminMu.Lock()
-	defer s.adminMu.Unlock()
-
-	// Re-fetch under the lock: a reload may have swapped the snapshot while
-	// the body was streaming in.
-	snap = s.holder.get()
-	if snap.DB == nil {
-		writeError(w, &httpError{http.StatusConflict,
-			"serving snapshot has no path database (loaded from a saved cube); append needs a database-backed snapshot"})
-		return
-	}
-
-	// Materialize rather than Clone: a lazily served snapshot must be fully
-	// decoded before delta-patching, and a corrupt section should fail the
-	// append loudly instead of patching an empty skeleton. It runs under
-	// adminMu for the same reason ApplyDelta does below — the decode must
-	// see the snapshot fetched under this lock, or a concurrent reload could
-	// swap mid-materialize and the patch would target a stale cube.
-	//flowlint:ignore lockblock materialize-patch-swap is single-flight by design; reads bypass adminMu via holder.get
-	cube, err := snap.Cube.Materialize()
+	p, err := s.committer.Submit(batchDB.Records, snap.SchemaGen)
 	if err != nil {
-		writeError(w, &httpError{http.StatusInternalServerError,
-			fmt.Sprintf("materialize serving snapshot for append: %v", err)})
+		// ErrClosed: the server is draining for shutdown.
+		writeError(w, &httpError{http.StatusServiceUnavailable, "server is shutting down"})
 		return
 	}
-	db := &pathdb.DB{Schema: snap.DB.Schema, Records: append([]pathdb.Record(nil), snap.DB.Records...)}
+	resp, err := p.Wait()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+var errNoAppendDB = &httpError{http.StatusConflict,
+	"serving snapshot has no path database (loaded from a saved cube); append needs a database-backed snapshot"}
+
+// errStaleSchema is the parse-then-commit race surfaced cleanly: the
+// snapshot was reloaded between parsing a batch and folding it, so the
+// parsed node ids may no longer mean the same thing. 409 with a retry hint.
+var errStaleSchema = &httpError{http.StatusConflict,
+	"snapshot reloaded while the append was in flight; re-read the serving schema and retry the batch"}
+
+// applyGroup is the committer's apply callback: it folds one commit group —
+// journal every live batch in the WAL, fsync once, apply one ApplyDelta
+// over the concatenated records, swap the snapshot — and resolves every
+// request in the group. It runs on the commit loop, the only goroutine
+// that writes the snapshot pointer, the record store, or the WAL.
+func (s *Server) applyGroup(group []*ingest.Pending) {
+	snap := s.holder.get()
+
+	// Admission: batches parsed against a reloaded-away schema conflict;
+	// everything else in the group commits together.
+	live := group[:0:0]
+	for _, p := range group {
+		if snap.DB == nil {
+			p.Resolve(nil, errNoAppendDB)
+			continue
+		}
+		if p.Tag != snap.SchemaGen {
+			s.metrics.staleConflicts.Add(1)
+			p.Resolve(nil, errStaleSchema)
+			continue
+		}
+		live = append(live, p)
+	}
+	if len(live) == 0 {
+		return
+	}
+
+	// Durability first: journal each batch, one fsync for the group. A
+	// batch is acknowledged only after its WAL entry is stable, so a crash
+	// between here and the snapshot swap replays it on restart.
+	if s.wal != nil {
+		if err := s.journalGroup(snap, live); err != nil {
+			s.logger.Printf("append: WAL journal failed: %v", err)
+			fail := &httpError{http.StatusInternalServerError, fmt.Sprintf("journal append batch: %v", err)}
+			for _, p := range live {
+				p.Resolve(nil, fail)
+			}
+			return
+		}
+	}
+
+	total := 0
+	for _, p := range live {
+		total += len(p.Records)
+	}
+	batch := make([]pathdb.Record, 0, total)
+	for _, p := range live {
+		batch = append(batch, p.Records...)
+	}
+
 	start := time.Now()
-	// adminMu is deliberately held across ApplyDelta: appends are
-	// clone-patch-swap against the snapshot fetched above, so two appends
-	// running concurrently would each patch their own clone and the second
-	// swap would silently discard the first batch. Serializing admin
-	// mutations here is the correctness mechanism (reads are never blocked —
-	// they go through holder.get, not adminMu); TestAdminAppendSerialized
-	// locks the no-lost-update behavior in.
-	//flowlint:ignore lockblock single-flight by design: concurrent appends must queue or lose updates
-	stats, err := incr.ApplyDelta(cube, db, batchDB.Records)
+	next, stats, err := s.fold(snap, batch)
 	if err != nil {
-		writeError(w, appendError(err))
+		for _, p := range live {
+			p.Resolve(nil, appendError(err))
+		}
 		return
 	}
 	elapsed := time.Since(start)
+	s.holder.set(next)
+	s.metrics.recordAppend(elapsed, stats)
+	s.metrics.lastGroupSize.Store(int64(len(live)))
+	s.logger.Printf("appended %d records (%d requests grouped): %d cells touched, %d admitted, %d restricted re-mines in %s",
+		stats.BatchRecords, len(live), stats.CellsTouched, stats.CellsAdmitted, stats.CellsReminedRestricted, elapsed.Round(time.Microsecond))
+
+	for _, p := range live {
+		p.Resolve(map[string]any{
+			"status":        "appended",
+			"records":       len(p.Records),
+			"group_records": stats.BatchRecords,
+			"group_size":    len(live),
+			"delta_ms":      float64(elapsed.Nanoseconds()) / 1e6,
+			"stats":         stats,
+			"cells":         next.Cube.NumCells(),
+			"generation":    next.Gen,
+		}, nil)
+	}
+}
+
+// journalGroup appends each live batch to the WAL and makes the group
+// durable with a single fsync.
+func (s *Server) journalGroup(snap *Snapshot, live []*ingest.Pending) error {
+	for _, p := range live {
+		if err := s.wal.Append(snap.DB.Schema, p.Records); err != nil {
+			return err
+		}
+	}
+	if err := s.wal.Sync(); err != nil {
+		return err
+	}
+	s.metrics.walEntries.Store(int64(s.wal.Entries()))
+	s.metrics.walBytes.Store(s.wal.Size())
+	return nil
+}
+
+// fold applies one concatenated batch to a copy of the serving state and
+// returns the next snapshot, without publishing it. Exactness comes from
+// incr.ApplyDelta; O(batch) memory comes from patching a Materialize copy
+// of the cube plus a copy-on-write reservation in the record store instead
+// of duplicating the database.
+func (s *Server) fold(snap *Snapshot, batch []pathdb.Record) (*Snapshot, *incr.Stats, error) {
+	// Materialize rather than Clone: a lazily served snapshot must be fully
+	// decoded before delta-patching, and a corrupt section should fail the
+	// append loudly instead of patching an empty skeleton.
+	cube, err := snap.Cube.Materialize()
+	if err != nil {
+		return nil, nil, &httpError{http.StatusInternalServerError,
+			fmt.Sprintf("materialize serving snapshot for append: %v", err)}
+	}
+	db := &pathdb.DB{Schema: snap.DB.Schema, Records: s.store.Reserve(len(batch))}
+	stats, err := incr.ApplyDelta(cube, db, batch)
+	if err != nil {
+		// The reservation is abandoned; the committed store is untouched.
+		return nil, nil, err
+	}
+	s.store.Commit(db.Records)
 	if s.cfg.PostAppend != nil {
 		cube = s.cfg.PostAppend(cube)
 	}
-
-	next := newSnapshot(cube, snap.Source, s.cfg.CacheSize, elapsed, snap.Bytes)
-	next.DB = db
-	s.holder.set(next)
-	s.metrics.recordAppend(elapsed, stats)
-	s.logger.Printf("appended %d records: %d cells touched, %d admitted in %s",
-		stats.BatchRecords, stats.CellsTouched, stats.CellsAdmitted, elapsed.Round(time.Microsecond))
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":   "appended",
-		"records":  stats.BatchRecords,
-		"delta_ms": float64(elapsed.Nanoseconds()) / 1e6,
-		"stats":    stats,
-		"cells":    cube.NumCells(),
-	})
+	next := newSnapshot(cube, snap.Source, s.cfg.CacheSize, 0, snap.Bytes)
+	next.DB = &pathdb.DB{Schema: snap.DB.Schema, Records: s.store.Committed()}
+	next.Gen = snap.Gen + 1
+	next.SchemaGen = snap.SchemaGen
+	return next, stats, nil
 }
 
 // appendError maps delta-maintenance failures to HTTP statuses: bad batch

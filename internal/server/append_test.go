@@ -146,10 +146,10 @@ func TestAdminAppendErrors(t *testing.T) {
 	}
 }
 
-// TestAdminAppendSerialized is the regression test behind append.go's
-// lockblock allowlist entry: adminMu is deliberately held across
-// ApplyDelta so concurrent appends queue instead of racing clone-patch-swap
-// and losing each other's batches. Fire the remaining records as
+// TestAdminAppendSerialized guards the no-lost-updates contract of the
+// group committer: concurrent appends coalesce into commit groups on a
+// single-writer loop instead of racing clone-patch-swap, so every batch
+// lands exactly once however the groups form. Fire the remaining records as
 // concurrent single-record batches and require every one to land.
 func TestAdminAppendSerialized(t *testing.T) {
 	ex := paperex.New()
@@ -200,7 +200,13 @@ func TestAdminAppendSerialized(t *testing.T) {
 		t.Fatalf("after %d concurrent appends, snapshot DB has %d records, want %d (a batch was lost)",
 			len(rest), snap.DB.Len(), ex.DB.Len())
 	}
-	if got := s.Metrics().Appends.Count; got != int64(len(rest)) {
-		t.Errorf("appends.count = %d, want %d", got, len(rest))
+	m := s.Metrics()
+	// Appends.Count counts folds (one per commit group), so coalescing can
+	// make it smaller than the request count — never zero, never larger.
+	if m.Appends.Count < 1 || m.Appends.Count > int64(len(rest)) {
+		t.Errorf("appends.count = %d, want 1..%d", m.Appends.Count, len(rest))
+	}
+	if m.Ingest.GroupedRequests != int64(len(rest)) {
+		t.Errorf("ingest.grouped_requests = %d, want %d", m.Ingest.GroupedRequests, len(rest))
 	}
 }

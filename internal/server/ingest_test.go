@@ -1,0 +1,484 @@
+package server
+
+// Ingest write-path tests: crash recovery through the WAL, group-commit
+// correctness under concurrency (-race), reload/append fencing, and the
+// stale-schema conflict. The digest assertions lean on incr.ApplyDelta's
+// exactness contract: a folded cube must be byte-identical under Save to a
+// full Build over the union database in commit order.
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"flowcube/internal/core"
+	"flowcube/internal/datagen"
+	"flowcube/internal/ingest"
+	"flowcube/internal/paperex"
+	"flowcube/internal/pathdb"
+	"flowcube/internal/transact"
+)
+
+func ingestDataset(t testing.TB, seed int64, paths int) *datagen.Dataset {
+	t.Helper()
+	cfg := datagen.Default()
+	cfg.Seed = seed
+	cfg.NumPaths = paths
+	cfg.NumDims = 2
+	cfg.DimFanouts = [3]int{3, 3, 4}
+	return datagen.MustGenerate(cfg)
+}
+
+// copyPrefix returns a freshly allocated database over the first n records —
+// what a real loader produces on every load, and what the copy-on-write
+// store's adoption contract requires.
+func copyPrefix(ds *datagen.Dataset, n int) *pathdb.DB {
+	return &pathdb.DB{Schema: ds.DB.Schema, Records: append([]pathdb.Record(nil), ds.DB.Records[:n]...)}
+}
+
+func cubeDigest(t testing.TB, cube *core.Cube) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := cube.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	return hex.EncodeToString(sum[:])
+}
+
+// prefixLoader builds a fresh cube (and database copy) over the dataset's
+// first n records on every call, like FileLoader re-reading its file.
+func prefixLoader(t testing.TB, ds *datagen.Dataset, n int, cfg core.Config) Loader {
+	return func() (*core.Cube, LoadInfo, error) {
+		db := copyPrefix(ds, n)
+		cube, err := core.Build(db, cfg)
+		if err != nil {
+			return nil, LoadInfo{}, err
+		}
+		return cube, LoadInfo{DB: db}, nil
+	}
+}
+
+// paperexLoader is the cheap loader for the fencing tests: the 8-record
+// running example builds in milliseconds, so reload-heavy tests stay fast.
+// Every call copies the records — the store adopts them.
+func paperexLoader(ex *paperex.Example, cfg core.Config) Loader {
+	return func() (*core.Cube, LoadInfo, error) {
+		db := &pathdb.DB{Schema: ex.DB.Schema, Records: append([]pathdb.Record(nil), ex.DB.Records...)}
+		cube, err := core.Build(db, cfg)
+		if err != nil {
+			return nil, LoadInfo{}, err
+		}
+		return cube, LoadInfo{DB: db}, nil
+	}
+}
+
+func paperexConfig(ex *paperex.Example) core.Config {
+	return core.Config{
+		MinCount:    2,
+		Plan:        transact.Plan{PathLevels: []pathdb.PathLevel{ex.BasePathLevel()}},
+		DeltaLedger: true,
+	}
+}
+
+func recordsBody(t testing.TB, schema *pathdb.Schema, recs []pathdb.Record) string {
+	t.Helper()
+	var buf bytes.Buffer
+	db := &pathdb.DB{Schema: schema, Records: recs}
+	if _, err := db.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// TestIngestWALCrashRecovery is the acceptance scenario from DESIGN.md §11:
+// batches journaled in the WAL but never folded into a persisted snapshot
+// (the swap is volatile — any crash after the fsync loses it) must replay on
+// startup to the exact state an uninterrupted run reaches.
+func TestIngestWALCrashRecovery(t *testing.T) {
+	ds := ingestDataset(t, 51, 160)
+	const base = 120
+	cfg := core.Config{
+		MinCount: 4, Epsilon: 0.05, Plan: ds.DefaultPlan(),
+		MineExceptions: true, SingleStageExceptions: true, DeltaLedger: true, Workers: 2,
+	}
+	walPath := filepath.Join(t.TempDir(), "ingest.wal")
+
+	// The uninterrupted run: a full build over all 160 records in order.
+	full, err := core.Build(&pathdb.DB{Schema: ds.DB.Schema, Records: ds.DB.Records}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cubeDigest(t, full)
+
+	// Crash before any fold: the journal holds two acknowledged batches the
+	// in-memory snapshot never absorbed.
+	w, err := ingest.Open(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, split := range [][2]int{{base, 140}, {140, 160}} {
+		if err := w.Append(ds.DB.Schema, ds.DB.Records[split[0]:split[1]]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	sCfg := quietConfig()
+	sCfg.WALPath = walPath
+	s, err := New(prefixLoader(t, ds, base, cfg), "test", sCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := s.Snapshot()
+	if snap.DB.Len() != 160 {
+		t.Fatalf("replayed snapshot has %d records, want 160", snap.DB.Len())
+	}
+	if got := cubeDigest(t, snap.Cube); got != want {
+		t.Errorf("replayed digest %s != uninterrupted digest %s", got, want)
+	}
+	if got := s.Metrics().Ingest.WALEntries; got != 2 {
+		t.Errorf("wal_entries = %d after replay, want 2", got)
+	}
+
+	// The journal keeps extending after replay: an append journals entry 3,
+	// and a second restart replays all three.
+	rec, _ := postBody(t, s.Handler(), "/admin/append",
+		recordsBody(t, ds.DB.Schema, ds.DB.Records[150:160]))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("append after replay: status %d: %s", rec.Code, rec.Body.String())
+	}
+	wantLen := s.Snapshot().DB.Len()
+	wantDigest := cubeDigest(t, s.Snapshot().Cube)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := New(prefixLoader(t, ds, base, cfg), "test", sCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.Snapshot().DB.Len(); got != wantLen {
+		t.Fatalf("second restart has %d records, want %d", got, wantLen)
+	}
+	if got := cubeDigest(t, s2.Snapshot().Cube); got != wantDigest {
+		t.Errorf("second restart digest %s != pre-crash digest %s", got, wantDigest)
+	}
+}
+
+// TestIngestReloadResetsWAL: reload rebuilds from the loader's source of
+// truth and deliberately discards appended records, so it must also discard
+// their journal entries — replaying them after a restart would double-apply.
+func TestIngestReloadResetsWAL(t *testing.T) {
+	ex := paperex.New()
+	const base = 8 // the full running example
+	cfg := paperexConfig(ex)
+	walPath := filepath.Join(t.TempDir(), "ingest.wal")
+	sCfg := quietConfig()
+	sCfg.WALPath = walPath
+	s, err := New(paperexLoader(ex, cfg), "test", sCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rec, _ := postBody(t, s.Handler(), "/admin/append",
+		recordsBody(t, ex.DB.Schema, ex.DB.Records[:2]))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("append: status %d: %s", rec.Code, rec.Body.String())
+	}
+	if got := s.Metrics().Ingest.WALEntries; got != 1 {
+		t.Fatalf("wal_entries = %d after append, want 1", got)
+	}
+
+	if rec, _ := postBody(t, s.Handler(), "/admin/reload", ""); rec.Code != http.StatusOK {
+		t.Fatalf("reload: status %d: %s", rec.Code, rec.Body.String())
+	}
+	if got := s.Metrics().Ingest.WALEntries; got != 0 {
+		t.Errorf("wal_entries = %d after reload, want 0", got)
+	}
+	if got := s.Snapshot().DB.Len(); got != base {
+		t.Errorf("post-reload snapshot has %d records, want %d", got, base)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: nothing to replay.
+	s2, err := New(paperexLoader(ex, cfg), "test", sCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.Snapshot().DB.Len(); got != base {
+		t.Errorf("restart after reload has %d records, want %d (WAL double-applied)", got, base)
+	}
+}
+
+// TestIngestStaleSchemaConflict pins the parse-then-commit race determin-
+// istically: a batch parsed against a pre-reload snapshot must be rejected
+// at commit with a retryable 409, because the reload may have changed the
+// schema the batch's node ids were resolved against.
+func TestIngestStaleSchemaConflict(t *testing.T) {
+	ex := paperex.New()
+	cfg := paperexConfig(ex)
+	s, err := New(paperexLoader(ex, cfg), "test", quietConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	staleTag := s.Snapshot().SchemaGen
+	if rec, _ := postBody(t, s.Handler(), "/admin/reload", ""); rec.Code != http.StatusOK {
+		t.Fatalf("reload: status %d: %s", rec.Code, rec.Body.String())
+	}
+	if got := s.Snapshot().SchemaGen; got != staleTag+1 {
+		t.Fatalf("SchemaGen after reload = %d, want %d", got, staleTag+1)
+	}
+
+	p, err := s.committer.Submit(ex.DB.Records[:2], staleTag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Wait(); errorStatus(err) != http.StatusConflict {
+		t.Fatalf("stale-tag commit: err %v, want 409", err)
+	}
+	if got := s.Metrics().Ingest.StaleConflicts; got != 1 {
+		t.Errorf("stale_conflicts = %d, want 1", got)
+	}
+
+	// A batch carrying the current generation folds normally.
+	rec, _ := postBody(t, s.Handler(), "/admin/append",
+		recordsBody(t, ex.DB.Schema, ex.DB.Records[:2]))
+	if rec.Code != http.StatusOK {
+		t.Errorf("fresh append after conflict: status %d: %s", rec.Code, rec.Body.String())
+	}
+}
+
+// TestIngestStressConcurrent is the -race stress test for the group-commit
+// write path: disjoint two-record batches fired from many goroutines while
+// readers spin on the snapshot pointer. No update may be lost (every record
+// lands exactly once), reads may never observe a partial batch (the record
+// count past the base is always a whole number of batches), and the final
+// cube must be byte-identical to a full build over the database the commits
+// produced.
+func TestIngestStressConcurrent(t *testing.T) {
+	ds := ingestDataset(t, 59, 200)
+	const (
+		base      = 120
+		batchSize = 2
+		writers   = 8
+		perWriter = 5 // batches each; writers*perWriter*batchSize covers [base,200)
+	)
+	cfg := core.Config{
+		MinCount: 4, Epsilon: 0.05, Plan: ds.DefaultPlan(),
+		MineExceptions: true, SingleStageExceptions: true, DeltaLedger: true, Workers: 2,
+	}
+	sCfg := quietConfig()
+	sCfg.WALPath = filepath.Join(t.TempDir(), "ingest.wal")
+	s, err := New(prefixLoader(t, ds, base, cfg), "test", sCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	var done atomic.Bool
+	violations := make(chan string, 64)
+	var readers sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			lastGen, lastLen := uint64(0), 0
+			for !done.Load() {
+				snap := s.Snapshot()
+				n := snap.DB.Len()
+				if (n-base)%batchSize != 0 {
+					select {
+					case violations <- fmt.Sprintf("partial batch visible: %d records past base", n-base):
+					default:
+					}
+				}
+				if snap.Gen < lastGen || n < lastLen {
+					select {
+					case violations <- fmt.Sprintf("snapshot went backwards: gen %d→%d len %d→%d", lastGen, snap.Gen, lastLen, n):
+					default:
+					}
+				}
+				lastGen, lastLen = snap.Gen, n
+			}
+		}()
+	}
+
+	var writersWG sync.WaitGroup
+	writeErrs := make([]error, writers)
+	for wi := 0; wi < writers; wi++ {
+		writersWG.Add(1)
+		go func(wi int) {
+			defer writersWG.Done()
+			for b := 0; b < perWriter; b++ {
+				lo := base + (wi*perWriter+b)*batchSize
+				body := recordsBody(t, ds.DB.Schema, ds.DB.Records[lo:lo+batchSize])
+				req := httptest.NewRequest(http.MethodPost, "/admin/append", strings.NewReader(body))
+				rec := httptest.NewRecorder()
+				s.Handler().ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					writeErrs[wi] = fmt.Errorf("writer %d batch %d: status %d: %s", wi, b, rec.Code, rec.Body.String())
+					return
+				}
+			}
+		}(wi)
+	}
+	writersWG.Wait()
+	done.Store(true)
+	readers.Wait()
+	close(violations)
+	for v := range violations {
+		t.Error(v)
+	}
+	for _, err := range writeErrs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	snap := s.Snapshot()
+	if snap.DB.Len() != 200 {
+		t.Fatalf("final snapshot has %d records, want 200 (a batch was lost)", snap.DB.Len())
+	}
+	// Exactness in commit order: rebuild over the exact database the
+	// concurrent folds produced.
+	rebuilt, err := core.Build(&pathdb.DB{
+		Schema:  ds.DB.Schema,
+		Records: append([]pathdb.Record(nil), snap.DB.Records...),
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := cubeDigest(t, snap.Cube), cubeDigest(t, rebuilt); got != want {
+		t.Errorf("final folded digest %s != full-build digest %s", got, want)
+	}
+	m := s.Metrics()
+	if m.Ingest.GroupedRequests != writers*perWriter {
+		t.Errorf("grouped_requests = %d, want %d", m.Ingest.GroupedRequests, writers*perWriter)
+	}
+	if m.Ingest.WALEntries != writers*perWriter {
+		t.Errorf("wal_entries = %d, want %d (one journal entry per accepted batch)", m.Ingest.WALEntries, writers*perWriter)
+	}
+}
+
+// TestIngestStressWithReloads mixes appends, reloads, and reads: appends may
+// cleanly conflict (409) when a reload fences them off, but nothing may
+// crash, race, or leave the server unhealthy, and readers must never observe
+// a partial batch (reloads reset the record count to the base, commits add
+// whole batches).
+func TestIngestStressWithReloads(t *testing.T) {
+	ex := paperex.New()
+	const (
+		base      = 8 // the full running example
+		batchSize = 2
+	)
+	cfg := paperexConfig(ex)
+	s, err := New(paperexLoader(ex, cfg), "test", quietConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	var done atomic.Bool
+	violations := make(chan string, 64)
+	var wg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !done.Load() {
+				if n := s.Snapshot().DB.Len(); (n-base)%batchSize != 0 {
+					select {
+					case violations <- fmt.Sprintf("partial batch visible: %d records past base", n-base):
+					default:
+					}
+				}
+			}
+		}()
+	}
+
+	var writersWG sync.WaitGroup
+	writeErrs := make([]error, 6)
+	for wi := 0; wi < len(writeErrs); wi++ {
+		writersWG.Add(1)
+		go func(wi int) {
+			defer writersWG.Done()
+			for b := 0; b < 4; b++ {
+				// Batches reuse example records (duplicates are ordinary
+				// appends); what matters here is the swap traffic.
+				lo := (wi*4 + b) * batchSize % (base - batchSize)
+				body := recordsBody(t, ex.DB.Schema, ex.DB.Records[lo:lo+batchSize])
+				req := httptest.NewRequest(http.MethodPost, "/admin/append", strings.NewReader(body))
+				rec := httptest.NewRecorder()
+				s.Handler().ServeHTTP(rec, req)
+				// 200 = committed; 409 = fenced by a concurrent reload —
+				// both are correct outcomes. Anything else is a bug.
+				if rec.Code != http.StatusOK && rec.Code != http.StatusConflict {
+					writeErrs[wi] = fmt.Errorf("writer %d batch %d: status %d: %s", wi, b, rec.Code, rec.Body.String())
+					return
+				}
+			}
+		}(wi)
+	}
+	var reloadErr error
+	writersWG.Add(1)
+	go func() {
+		defer writersWG.Done()
+		for i := 0; i < 5; i++ {
+			req := httptest.NewRequest(http.MethodPost, "/admin/reload", nil)
+			rec := httptest.NewRecorder()
+			s.Handler().ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				reloadErr = fmt.Errorf("reload %d: status %d: %s", i, rec.Code, rec.Body.String())
+				return
+			}
+		}
+	}()
+	writersWG.Wait()
+	done.Store(true)
+	wg.Wait()
+	close(violations)
+	for v := range violations {
+		t.Error(v)
+	}
+	for _, err := range writeErrs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if reloadErr != nil {
+		t.Fatal(reloadErr)
+	}
+
+	if rec, _ := get(t, s.Handler(), "/healthz"); rec.Code != http.StatusOK {
+		t.Errorf("healthz after stress: status %d", rec.Code)
+	}
+	// The snapshot is still internally consistent: generation counters moved
+	// and the record count parses as whole batches.
+	snap := s.Snapshot()
+	if (snap.DB.Len()-base)%batchSize != 0 {
+		t.Errorf("final record count %d is not base plus whole batches", snap.DB.Len())
+	}
+	if snap.Gen == 0 {
+		t.Error("no snapshot swap happened during the stress run")
+	}
+}

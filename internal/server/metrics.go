@@ -45,6 +45,17 @@ type metrics struct {
 	lastCellsTouched  atomic.Int64
 	lastCellsAdmitted atomic.Int64
 
+	// Ingest write-path gauges. The WAL itself is touched only on the
+	// commit loop, so its counters are mirrored here atomically for
+	// /metrics readers; the committer's own stats are mutex-guarded and
+	// read directly (Server.Metrics).
+	lastGroupSize         atomic.Int64
+	lastReminedRestricted atomic.Int64
+	lastPrefixesRemined   atomic.Int64
+	staleConflicts        atomic.Int64
+	walEntries            atomic.Int64
+	walBytes              atomic.Int64
+
 	mu     sync.Mutex
 	routes map[string]*routeStats
 }
@@ -55,6 +66,8 @@ func (m *metrics) recordAppend(d time.Duration, stats *incr.Stats) {
 	m.lastDeltaNs.Store(d.Nanoseconds())
 	m.lastCellsTouched.Store(int64(stats.CellsTouched))
 	m.lastCellsAdmitted.Store(int64(stats.CellsAdmitted))
+	m.lastReminedRestricted.Store(int64(stats.CellsReminedRestricted))
+	m.lastPrefixesRemined.Store(int64(stats.PrefixesRemined))
 }
 
 func newMetrics() *metrics {
@@ -184,6 +197,35 @@ type AppendMetrics struct {
 	LastDeltaMs       float64 `json:"last_delta_ms"`
 	LastCellsTouched  int64   `json:"last_cells_touched"`
 	LastCellsAdmitted int64   `json:"last_cells_admitted"`
+	// LastReminedRestricted and LastPrefixesRemined report the last fold's
+	// batch-proportional exception re-mining: how many touched cells took
+	// the restricted path and how many moved flowgraph prefixes they
+	// re-aggregated.
+	LastReminedRestricted int64 `json:"last_cells_remined_restricted"`
+	LastPrefixesRemined   int64 `json:"last_prefixes_remined"`
+}
+
+// IngestMetrics are the write-path gauges: group-commit shape (how well
+// concurrent appends coalesce), WAL depth, and admission conflicts.
+type IngestMetrics struct {
+	// Groups and GroupedRequests count commit groups and the append
+	// requests folded across them; GroupedRequests/Groups is the achieved
+	// coalescing factor.
+	Groups          int64 `json:"groups"`
+	GroupedRequests int64 `json:"grouped_requests"`
+	GroupP50        int   `json:"group_p50"`
+	GroupMax        int   `json:"group_max"`
+	LastGroupSize   int64 `json:"last_group_size"`
+	// QueueDepth is the number of submitted-but-uncommitted items right now.
+	QueueDepth int `json:"queue_depth"`
+	// Execs counts reloads run on the commit loop.
+	Execs int64 `json:"execs"`
+	// WALEntries and WALBytes gauge the journal since the last reset.
+	WALEntries int64 `json:"wal_entries"`
+	WALBytes   int64 `json:"wal_bytes"`
+	// StaleConflicts counts appends rejected because a reload swapped the
+	// schema generation between parse and commit (409, retryable).
+	StaleConflicts int64 `json:"stale_conflicts"`
 }
 
 // MetricsSnapshot is the GET /metrics response body.
@@ -191,6 +233,7 @@ type MetricsSnapshot struct {
 	UptimeSeconds float64                 `json:"uptime_seconds"`
 	Reloads       int64                   `json:"reloads"`
 	Appends       AppendMetrics           `json:"appends"`
+	Ingest        IngestMetrics           `json:"ingest"`
 	Snapshot      SnapshotMetrics         `json:"snapshot"`
 	Cache         CacheMetrics            `json:"cache"`
 	Routes        map[string]RouteMetrics `json:"routes"`
@@ -202,10 +245,18 @@ func (m *metrics) snapshot() MetricsSnapshot {
 		UptimeSeconds: time.Since(m.start).Seconds(),
 		Reloads:       m.reloads.Load(),
 		Appends: AppendMetrics{
-			Count:             m.appends.Load(),
-			LastDeltaMs:       float64(m.lastDeltaNs.Load()) / 1e6,
-			LastCellsTouched:  m.lastCellsTouched.Load(),
-			LastCellsAdmitted: m.lastCellsAdmitted.Load(),
+			Count:                 m.appends.Load(),
+			LastDeltaMs:           float64(m.lastDeltaNs.Load()) / 1e6,
+			LastCellsTouched:      m.lastCellsTouched.Load(),
+			LastCellsAdmitted:     m.lastCellsAdmitted.Load(),
+			LastReminedRestricted: m.lastReminedRestricted.Load(),
+			LastPrefixesRemined:   m.lastPrefixesRemined.Load(),
+		},
+		Ingest: IngestMetrics{
+			LastGroupSize:  m.lastGroupSize.Load(),
+			WALEntries:     m.walEntries.Load(),
+			WALBytes:       m.walBytes.Load(),
+			StaleConflicts: m.staleConflicts.Load(),
 		},
 		Routes: make(map[string]RouteMetrics),
 	}

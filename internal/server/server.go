@@ -17,10 +17,15 @@
 //	POST /admin/append    delta-maintain the cube with new records
 //	     (incr.ApplyDelta on a clone, then an atomic snapshot swap)
 //
-// The cube is held behind an RWMutex-guarded snapshot pointer; queries are
-// answered through a per-snapshot LRU response cache with single-flight
-// deduplication. Requests carry a context deadline, are logged, and the
-// listener shuts down gracefully when the serve context is cancelled.
+// The cube is held behind an atomic snapshot pointer (MVCC: readers load it
+// once and are never blocked by writes); queries are answered through a
+// per-snapshot LRU response cache with single-flight deduplication. Appends
+// and reloads flow through a single-writer group-commit loop
+// (internal/ingest): concurrent appends coalesce into one WAL-journaled
+// delta fold per group, and the fold lands in a copy-on-write record store
+// so committing costs O(batch), not O(database). Requests carry a context
+// deadline, are logged, and the listener shuts down gracefully when the
+// serve context is cancelled.
 package server
 
 import (
@@ -36,6 +41,8 @@ import (
 	"time"
 
 	"flowcube/internal/core"
+	"flowcube/internal/ingest"
+	"flowcube/internal/pathdb"
 )
 
 // Config parameterizes the server. The zero value serves with defaults.
@@ -57,6 +64,16 @@ type Config struct {
 	// shard does not own after an append (cluster.ShardFilter); it must
 	// return a cube safe to serve (the input is exclusively owned).
 	PostAppend func(*core.Cube) *core.Cube
+	// WALPath, when set, journals every accepted append batch to a
+	// write-ahead log at this path before folding it, and replays intact
+	// entries on startup — an acknowledged append survives a crash that
+	// predates the next snapshot swap. Empty disables journaling.
+	WALPath string
+	// GroupLimit caps how many concurrent append requests coalesce into one
+	// commit group (one WAL fsync + one delta fold). 0 means the ingest
+	// default (64); 1 serializes appends, the baseline flowbench -ingest
+	// compares against.
+	GroupLimit int
 }
 
 // Defaults for Config zero values.
@@ -74,16 +91,35 @@ type Server struct {
 	metrics *metrics
 	logger  *log.Logger
 	handler http.Handler
-	// adminMu single-flights the snapshot-producing admin operations
-	// (reload, append): concurrent admins would race to swap and one
-	// delta would be lost.
-	adminMu sync.Mutex
+
+	// committer is the single-writer commit loop: appends and reloads all
+	// run on it, so the snapshot pointer, the record store, and the WAL
+	// have exactly one writing goroutine.
+	committer *ingest.Committer
+	// wal journals accepted batches before they fold; nil when
+	// Config.WALPath is empty. Touched only on the commit loop.
+	wal *ingest.WAL
+	// store is the copy-on-write record store behind every snapshot's DB:
+	// commits append into reserved tail capacity while readers keep their
+	// capacity-clamped views. Replaced wholesale on reload (commit loop
+	// only).
+	store *pathdb.Store
+
+	closeOnce sync.Once
+	closeErr  error
 }
 
 // New loads the initial snapshot through loader and returns a ready server.
 // source is a human-readable description of where snapshots come from
 // (typically the file path), echoed by /healthz and /v1/summary.
 func New(loader Loader, source string, cfg Config) (*Server, error) {
+	return NewContext(context.Background(), loader, source, cfg)
+}
+
+// NewContext is New with a context covering startup: it cancels the WAL
+// scan-and-replay between batches (the loader itself is not yet
+// context-aware).
+func NewContext(ctx context.Context, loader Loader, source string, cfg Config) (*Server, error) {
 	if cfg.RequestTimeout == 0 {
 		cfg.RequestTimeout = DefaultRequestTimeout
 	}
@@ -107,9 +143,86 @@ func New(loader Loader, source string, cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.installStore(snap)
+	if cfg.WALPath != "" {
+		snap, err = s.openWAL(ctx, snap)
+		if err != nil {
+			return nil, err
+		}
+	}
 	s.holder.set(snap)
+	s.committer = ingest.NewCommitter(ingest.Config{
+		GroupLimit: cfg.GroupLimit,
+		Apply:      s.applyGroup,
+	})
 	s.handler = s.routes()
 	return s, nil
+}
+
+// installStore rehouses a freshly loaded snapshot's records in a new
+// copy-on-write store, so subsequent append commits extend the store instead
+// of copying the database. Commit-loop-only after startup.
+func (s *Server) installStore(snap *Snapshot) {
+	if snap.DB == nil {
+		s.store = nil
+		return
+	}
+	s.store = pathdb.NewStore(snap.DB.Records)
+	snap.DB = &pathdb.DB{Schema: snap.DB.Schema, Records: s.store.Committed()}
+}
+
+// openWAL opens (or creates) the journal at Config.WALPath and replays any
+// intact entries — batches that were acknowledged before a crash but whose
+// snapshot swap never happened — through the ordinary fold path, returning
+// the caught-up snapshot. Runs during New, before any request is served.
+func (s *Server) openWAL(ctx context.Context, snap *Snapshot) (*Snapshot, error) {
+	w, err := ingest.OpenContext(ctx, s.cfg.WALPath)
+	if err != nil {
+		return nil, fmt.Errorf("server: open WAL %s: %w", s.cfg.WALPath, err)
+	}
+	if torn := w.Torn(); torn != nil {
+		s.logger.Printf("WAL %s: dropped torn tail: %v", s.cfg.WALPath, torn)
+	}
+	if w.Entries() > 0 {
+		if snap.DB == nil {
+			_ = w.Close()
+			return nil, fmt.Errorf("server: WAL %s holds %d entries but the snapshot has no path database to replay them into",
+				s.cfg.WALPath, w.Entries())
+		}
+		replayed := 0
+		err := w.ReplayContext(ctx, snap.DB.Schema, func(batch []pathdb.Record) error {
+			next, _, ferr := s.fold(snap, batch)
+			if ferr != nil {
+				return ferr
+			}
+			snap = next
+			replayed++
+			return nil
+		})
+		if err != nil {
+			_ = w.Close()
+			return nil, fmt.Errorf("server: replay WAL %s: %w", s.cfg.WALPath, err)
+		}
+		s.logger.Printf("replayed %d WAL entries from %s: %d cells", replayed, s.cfg.WALPath, snap.Cube.NumCells())
+	}
+	s.wal = w
+	s.metrics.walEntries.Store(int64(w.Entries()))
+	s.metrics.walBytes.Store(w.Size())
+	return snap, nil
+}
+
+// Close drains the commit loop (in-flight appends resolve) and closes the
+// WAL. Safe to call more than once; Serve calls it on shutdown.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() {
+		if s.committer != nil {
+			s.committer.Close()
+		}
+		if s.wal != nil {
+			s.closeErr = s.wal.Close()
+		}
+	})
+	return s.closeErr
 }
 
 // load runs the loader once and wraps the result in a timed snapshot.
@@ -131,6 +244,15 @@ func (s *Server) Snapshot() *Snapshot { return s.holder.get() }
 // the current snapshot's load gauges.
 func (s *Server) Metrics() MetricsSnapshot {
 	out := s.metrics.snapshot()
+	if s.committer != nil {
+		st := s.committer.Stats()
+		out.Ingest.Groups = int64(st.Groups)
+		out.Ingest.GroupedRequests = int64(st.Requests)
+		out.Ingest.Execs = int64(st.Execs)
+		out.Ingest.QueueDepth = st.QueueDepth
+		out.Ingest.GroupP50 = st.GroupP50
+		out.Ingest.GroupMax = st.GroupMax
+	}
 	if snap := s.holder.get(); snap != nil {
 		out.Snapshot = SnapshotMetrics{
 			LoadMs:   float64(snap.LoadDuration.Nanoseconds()) / 1e6,
@@ -386,18 +508,45 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleReload re-runs the loader and swaps the serving snapshot. In-flight
-// queries keep the snapshot (and cache) they started with; the swap is a
-// single guarded pointer write. Reload discards records appended since the
-// last load: it rebuilds from the loader's source of truth.
+// queries keep the snapshot (and cache) they started with. The swap runs on
+// the commit loop (committer.Exec), serialized against append groups, so the
+// snapshot pointer and record store keep a single writer. Reload discards
+// records appended since the last load — it rebuilds from the loader's
+// source of truth — so the WAL is reset too: replaying the discarded appends
+// on a later restart would double-apply them. Batches parsed against the
+// pre-reload snapshot are fenced off by the SchemaGen bump (409 at commit).
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
-	s.adminMu.Lock()
-	defer s.adminMu.Unlock()
-	snap, err := s.load()
+	var snap *Snapshot
+	var loadErr error
+	err := s.committer.Exec(func() {
+		next, err := s.load()
+		if err != nil {
+			loadErr = err
+			return
+		}
+		prev := s.holder.get()
+		next.Gen = prev.Gen + 1
+		next.SchemaGen = prev.SchemaGen + 1
+		s.installStore(next)
+		if s.wal != nil {
+			if err := s.wal.Reset(); err != nil {
+				loadErr = fmt.Errorf("reset WAL after reload: %w", err)
+				return
+			}
+			s.metrics.walEntries.Store(0)
+			s.metrics.walBytes.Store(s.wal.Size())
+		}
+		s.holder.set(next)
+		snap = next
+	})
 	if err != nil {
-		writeError(w, fmt.Errorf("reload: %w", err))
+		writeError(w, &httpError{http.StatusServiceUnavailable, "server is shutting down"})
 		return
 	}
-	s.holder.set(snap)
+	if loadErr != nil {
+		writeError(w, fmt.Errorf("reload: %w", loadErr))
+		return
+	}
 	s.metrics.reloads.Add(1)
 	s.logger.Printf("reloaded snapshot from %s: %d cells, %d bytes in %s",
 		snap.Source, snap.Cube.NumCells(), snap.Bytes, snap.LoadDuration.Round(time.Microsecond))
@@ -431,6 +580,7 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	go func() { errc <- srv.Serve(ln) }()
 	select {
 	case err := <-errc:
+		_ = s.Close() // the listener error is the actionable one
 		return err
 	case <-ctx.Done():
 		// WithoutCancel: ctx is already done here; the drain deadline must
@@ -439,6 +589,9 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 		defer cancel()
 		err := srv.Shutdown(shutdownCtx)
 		<-errc // Serve has returned http.ErrServerClosed
+		if cerr := s.Close(); err == nil {
+			err = cerr
+		}
 		return err
 	}
 }

@@ -5,7 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"sync"
+	"sync/atomic"
 	"time"
 
 	"flowcube/internal/core"
@@ -32,8 +32,18 @@ type Snapshot struct {
 	Bytes int64
 	// DB is the path database the cube was built over, when the loader had
 	// it. Snapshots with a DB accept streaming appends (POST /admin/append);
-	// snapshots loaded from a saved cube alone do not.
+	// snapshots loaded from a saved cube alone do not. Its record slice is a
+	// capacity-clamped view of the server's copy-on-write store
+	// (pathdb.Store), so append commits never move records under a reader.
 	DB *pathdb.DB
+	// Gen counts snapshot swaps monotonically: every commit or reload
+	// produces a snapshot with the next generation.
+	Gen uint64
+	// SchemaGen counts reloads: appends inherit it, reloads bump it. A batch
+	// parsed against one SchemaGen cannot fold into a snapshot with another —
+	// the reload may have changed the schema or the source of truth — so the
+	// committer rejects the stale batch with a retryable conflict.
+	SchemaGen uint64
 
 	cache *lru
 }
@@ -49,24 +59,16 @@ func newSnapshot(cube *core.Cube, source string, cacheSize int, loadDur time.Dur
 	}
 }
 
-// holder is the RWMutex-guarded snapshot pointer: many concurrent readers,
-// one writer during reload.
+// holder is the atomic snapshot pointer — the MVCC pivot: readers load it
+// once and answer wholly from that snapshot, the commit loop publishes a
+// new one per commit or reload, and neither ever blocks the other.
 type holder struct {
-	mu   sync.RWMutex
-	snap *Snapshot
+	snap atomic.Pointer[Snapshot]
 }
 
-func (h *holder) get() *Snapshot {
-	h.mu.RLock()
-	defer h.mu.RUnlock()
-	return h.snap
-}
+func (h *holder) get() *Snapshot { return h.snap.Load() }
 
-func (h *holder) set(s *Snapshot) {
-	h.mu.Lock()
-	h.snap = s
-	h.mu.Unlock()
-}
+func (h *holder) set(s *Snapshot) { h.snap.Store(s) }
 
 // LoadInfo describes the serialized input a Loader read its cube from, for
 // the snapshot gauges on /metrics and the reload response.
@@ -76,7 +78,10 @@ type LoadInfo struct {
 	Bytes int64
 	// DB is the path database the cube was built over; loaders that have it
 	// should return it so the server can serve streaming appends. Nil when
-	// the loader only had a saved cube.
+	// the loader only had a saved cube. The server adopts the record slice
+	// into its copy-on-write store (pathdb.Store), so every load call must
+	// return a freshly allocated slice, never one shared with earlier loads
+	// or retained by the caller.
 	DB *pathdb.DB
 }
 

@@ -48,10 +48,19 @@ echo "== cluster bench smoke =="
 go run ./cmd/flowbench -cluster -scale 0.02 -quiet \
   -cluster-out "$(mktemp -t BENCH_cluster_smoke.XXXXXX.json)"
 
+echo "== ingest bench smoke =="
+# Tiny run of the ingest write-path bench: WAL + group commit vs the
+# serialized baseline, reader latency under write load, restricted
+# re-mine exactness (the bench panics if restricted and full re-mines
+# diverge). Scratch output keeps the committed BENCH_ingest.json intact.
+go run ./cmd/flowbench -ingest -scale 0.02 -quiet \
+  -ingest-out "$(mktemp -t BENCH_ingest_smoke.XXXXXX.json)"
+
 echo "== fuzz (10s per target) =="
 go test ./internal/core -run '^$' -fuzz FuzzParseCellSpec -fuzztime 10s
 go test ./internal/core -run '^$' -fuzz FuzzLoadSnapshot -fuzztime 10s -fuzzminimizetime 10x
 go test ./internal/pathdb -run '^$' -fuzz FuzzRead -fuzztime 10s
 go test ./internal/incr -run '^$' -fuzz FuzzApplyDelta -fuzztime 10s
+go test ./internal/ingest -run '^$' -fuzz FuzzWALReplay -fuzztime 10s
 
 echo "ok"
