@@ -26,6 +26,13 @@ type Pending struct {
 	done chan struct{}
 }
 
+// NewPending builds an unqueued Pending with the same shape Submit
+// produces. Apply harnesses and tests use it to invoke an apply callback
+// directly and Wait on the outcome.
+func NewPending(records []pathdb.Record, tag uint64) *Pending {
+	return &Pending{Records: records, Tag: tag, done: make(chan struct{})}
+}
+
 // Resolve delivers the commit outcome to the waiting handler. Exactly one
 // Resolve per Pending; the committer resolves stragglers itself if the
 // apply callback forgets one.
@@ -115,7 +122,7 @@ func NewCommitter(cfg Config) *Committer {
 // Submit enqueues a parsed batch for the next commit group and returns the
 // Pending the caller should Wait on. After Close it returns ErrClosed.
 func (c *Committer) Submit(records []pathdb.Record, tag uint64) (*Pending, error) {
-	p := &Pending{Records: records, Tag: tag, done: make(chan struct{})}
+	p := NewPending(records, tag)
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()

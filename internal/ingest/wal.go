@@ -65,14 +65,29 @@ func (e *CorruptError) Error() string {
 	return fmt.Sprintf("ingest: corrupt WAL at offset %d (entry %d): %s", e.Offset, e.Entry, e.Reason)
 }
 
+// walFile is the slice of *os.File the WAL uses. Tests substitute a
+// fault-injecting implementation to exercise write-error recovery.
+type walFile interface {
+	io.Reader
+	io.ReaderAt
+	io.Writer
+	io.Seeker
+	io.Closer
+	Truncate(size int64) error
+	Sync() error
+	Stat() (os.FileInfo, error)
+	WriteString(s string) (int, error)
+}
+
 // WAL is an append-only journal of accepted append batches. Methods are not
 // safe for concurrent use; the group committer is the single writer.
 type WAL struct {
-	f       *os.File
+	f       walFile
 	path    string
 	entries int
 	size    int64 // valid bytes (magic + intact frames)
 	torn    *CorruptError
+	failed  error // set when a failed write could not be rolled back
 	scratch bytes.Buffer
 }
 
@@ -185,32 +200,66 @@ func (w *WAL) Path() string { return w.path }
 
 // Append journals one batch. The write is buffered by the OS; call Sync to
 // make it durable before acknowledging the batch.
+//
+// A failed write (ENOSPC, say) is rolled back: the file is truncated to the
+// last intact frame and the offset restored, so the log stays appendable
+// and a restart scan never stops early at a garbage partial frame — which
+// would silently drop every later batch that was acknowledged as durable.
+// If the rollback itself fails the WAL latches a failure and rejects
+// further Appends and Syncs until reopened.
 func (w *WAL) Append(schema *pathdb.Schema, batch []pathdb.Record) error {
+	if w.failed != nil {
+		return fmt.Errorf("ingest: WAL has a partial frame it could not remove; reopen to recover: %w", w.failed)
+	}
+	// Build the whole frame (header + payload) in the scratch buffer and
+	// write it with one call: a short write can still tear it, but there is
+	// no window where the header is durable and the payload write was never
+	// attempted.
 	w.scratch.Reset()
+	var hdr [walHeaderLen]byte // placeholder; patched once the payload length and CRC are known
+	w.scratch.Write(hdr[:])
 	db := &pathdb.DB{Schema: schema, Records: batch}
 	if _, err := db.WriteTo(&w.scratch); err != nil {
 		return err
 	}
-	payload := w.scratch.Bytes()
+	frame := w.scratch.Bytes()
+	payload := frame[walHeaderLen:]
 	if len(payload) > maxWALEntry {
 		return fmt.Errorf("ingest: batch renders to %d bytes, exceeding the %d-byte WAL entry bound", len(payload), maxWALEntry)
 	}
-	var hdr [walHeaderLen]byte
-	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, walCRCTable))
-	if _, err := w.f.Write(hdr[:]); err != nil {
-		return err
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, walCRCTable))
+	if _, err := w.f.Write(frame); err != nil {
+		return w.rollbackPartialFrame(err)
 	}
-	if _, err := w.f.Write(payload); err != nil {
-		return err
-	}
-	w.size += walHeaderLen + int64(len(payload))
+	w.size += int64(len(frame))
 	w.entries++
 	return nil
 }
 
+// rollbackPartialFrame restores the invariant that the file ends at w.size
+// after a failed frame write, returning writeErr on success. When the file
+// cannot be restored the failure is latched: the OS offset may sit past
+// garbage bytes, so further appends would bury a corrupt frame mid-log.
+func (w *WAL) rollbackPartialFrame(writeErr error) error {
+	if err := w.f.Truncate(w.size); err != nil {
+		w.failed = fmt.Errorf("append write: %v; truncate partial frame: %w", writeErr, err)
+		return w.failed
+	}
+	if _, err := w.f.Seek(w.size, io.SeekStart); err != nil {
+		w.failed = fmt.Errorf("append write: %v; re-seek after truncate: %w", writeErr, err)
+		return w.failed
+	}
+	return writeErr
+}
+
 // Sync flushes journaled entries to stable storage.
-func (w *WAL) Sync() error { return w.f.Sync() }
+func (w *WAL) Sync() error {
+	if w.failed != nil {
+		return fmt.Errorf("ingest: WAL has a partial frame it could not remove; reopen to recover: %w", w.failed)
+	}
+	return w.f.Sync()
+}
 
 // Replay decodes every intact entry against schema and hands each batch to
 // fn in journal order. Decoding reads the file independently of the append
@@ -266,6 +315,7 @@ func (w *WAL) Reset() error {
 	w.entries = 0
 	w.size = int64(len(walMagic))
 	w.torn = nil
+	w.failed = nil // the truncate re-established the end-at-size invariant
 	return nil
 }
 

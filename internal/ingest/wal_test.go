@@ -259,6 +259,123 @@ func TestWALReplayCallbackError(t *testing.T) {
 	}
 }
 
+// faultFile wraps the real WAL file and fails the next write after
+// admitting a prefix of it — the shape of an ENOSPC mid-frame. A negative
+// admit leaves writes untouched. failTruncate additionally breaks the
+// rollback path.
+type faultFile struct {
+	walFile
+	admit        int // bytes of the next write to let through; -1 = no fault
+	writeErr     error
+	failTruncate bool
+	writes       int
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	f.writes++
+	if f.admit < 0 {
+		return f.walFile.Write(p)
+	}
+	admit := f.admit
+	if admit > len(p) {
+		admit = len(p)
+	}
+	f.admit = -1
+	n, err := f.walFile.Write(p[:admit])
+	if err != nil {
+		return n, err
+	}
+	return n, f.writeErr
+}
+
+func (f *faultFile) Truncate(size int64) error {
+	if f.failTruncate {
+		return errors.New("injected truncate failure")
+	}
+	return f.walFile.Truncate(size)
+}
+
+// TestWALAppendWriteErrorRollsBack: a frame write that fails partway
+// (header landed, payload did not) must not leave the partial frame in the
+// file — the next Append would bury it, and a restart scan would stop there
+// and silently drop every later acknowledged batch.
+func TestWALAppendWriteErrorRollsBack(t *testing.T) {
+	ex := paperex.New()
+	path := walPath(t)
+	w, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer w.Close()
+	appendBatches(t, w, ex, [][]pathdb.Record{ex.DB.Records[:2]})
+	goodSize := w.Size()
+
+	boom := errors.New("injected ENOSPC")
+	ff := &faultFile{walFile: w.f, admit: walHeaderLen + 3, writeErr: boom}
+	w.f = ff
+	if err := w.Append(ex.DB.Schema, ex.DB.Records[2:4]); !errors.Is(err, boom) {
+		t.Fatalf("Append with failing write = %v, want %v", err, boom)
+	}
+	if w.Size() != goodSize || w.Entries() != 1 {
+		t.Fatalf("after failed Append: size=%d entries=%d, want size=%d entries=1", w.Size(), w.Entries(), goodSize)
+	}
+
+	// The log must still be appendable, and the new frame must land exactly
+	// where the rolled-back one started.
+	appendBatches(t, w, ex, [][]pathdb.Record{ex.DB.Records[4:6]})
+	if got := replayAll(t, w, ex.Schema); len(got) != 2 || len(got[1]) != 2 {
+		t.Fatalf("replayed %d batches after rollback, want 2 with the retried batch intact", len(got))
+	}
+
+	// A restart scan agrees: two intact entries, no torn tail.
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	w, err = Open(path)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer w.Close()
+	if w.Torn() != nil {
+		t.Fatalf("rollback left a torn tail: %v", w.Torn())
+	}
+	if w.Entries() != 2 {
+		t.Fatalf("reopened Entries = %d, want 2", w.Entries())
+	}
+}
+
+// TestWALAppendRollbackFailureLatches: when the partial frame cannot be
+// truncated away, the WAL must refuse further work — appending past garbage
+// would corrupt the log mid-file, beyond what a restart scan can heal.
+func TestWALAppendRollbackFailureLatches(t *testing.T) {
+	ex := paperex.New()
+	w, err := Open(walPath(t))
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer w.Close()
+	appendBatches(t, w, ex, [][]pathdb.Record{ex.DB.Records[:2]})
+
+	ff := &faultFile{walFile: w.f, admit: 3, writeErr: errors.New("injected ENOSPC"), failTruncate: true}
+	w.f = ff
+	if err := w.Append(ex.DB.Schema, ex.DB.Records[2:4]); err == nil {
+		t.Fatal("Append with failing write and truncate succeeded")
+	}
+	if w.failed == nil {
+		t.Fatal("failure not latched")
+	}
+	writesAtLatch := ff.writes
+	if err := w.Append(ex.DB.Schema, ex.DB.Records[4:5]); err == nil {
+		t.Fatal("Append on a failed WAL succeeded")
+	}
+	if err := w.Sync(); err == nil {
+		t.Fatal("Sync on a failed WAL succeeded")
+	}
+	if ff.writes != writesAtLatch {
+		t.Fatal("latched WAL still attempted a file write")
+	}
+}
+
 // FuzzWALReplay feeds arbitrary bytes through Open+Replay: any input must
 // yield typed errors and a clean partial replay — never a panic, and never
 // a record the CRC did not vouch for.

@@ -3,9 +3,10 @@ package server
 // POST /admin/append: streaming appends into the serving cube, the read
 // side of the ingest write path (DESIGN.md §11). The handler parses the
 // body against the serving schema and submits the batch to the group
-// committer (internal/ingest); the commit loop journals each group's
-// batches in the WAL, folds them with one incr.ApplyDelta (exact against a
-// full rebuild over the union), and swaps the snapshot pointer atomically.
+// committer (internal/ingest); the commit loop folds each group's batches
+// with one incr.ApplyDelta (exact against a full rebuild over the union),
+// journals the folded batches in the WAL, and swaps the snapshot pointer
+// atomically.
 // Readers are never blocked: they stay on the snapshot they loaded, and the
 // record store is copy-on-write (pathdb.Store), so a commit appends O(batch)
 // records instead of copying the whole database.
@@ -16,6 +17,7 @@ import (
 	"net/http"
 	"time"
 
+	"flowcube/internal/core"
 	"flowcube/internal/incr"
 	"flowcube/internal/ingest"
 	"flowcube/internal/pathdb"
@@ -85,10 +87,17 @@ var errStaleSchema = &httpError{http.StatusConflict,
 	"snapshot reloaded while the append was in flight; re-read the serving schema and retry the batch"}
 
 // applyGroup is the committer's apply callback: it folds one commit group —
-// journal every live batch in the WAL, fsync once, apply one ApplyDelta
-// over the concatenated records, swap the snapshot — and resolves every
+// one ApplyDelta over the concatenated records, then journal every folded
+// batch in the WAL, fsync once, swap the snapshot — and resolves every
 // request in the group. It runs on the commit loop, the only goroutine
 // that writes the snapshot pointer, the record store, or the WAL.
+//
+// Ordering is fold-then-journal: a batch that cannot fold is never
+// journaled, so the WAL only ever holds batches that folded cleanly once,
+// and a fold failure is reported to the client with nothing durable left
+// behind to replay (journal-first would brick startup on a deterministic
+// fold error, or double-apply on a client retry). Durability is unchanged —
+// a request is resolved only after its WAL entry is fsynced.
 func (s *Server) applyGroup(group []*ingest.Pending) {
 	snap := s.holder.get()
 
@@ -107,13 +116,51 @@ func (s *Server) applyGroup(group []*ingest.Pending) {
 		}
 		live = append(live, p)
 	}
-	if len(live) == 0 {
+
+	// Fold, ejecting bad batches: a *BatchError identifies one invalid
+	// record, and one caller's bad batch must not fail the unrelated
+	// requests grouped with it. Resolve the owner alone (with the record
+	// index rebased to its own batch) and refold the remainder.
+	start := time.Now()
+	var elapsed time.Duration
+	var fr *foldResult
+	for {
+		if len(live) == 0 {
+			return
+		}
+		total := 0
+		for _, p := range live {
+			total += len(p.Records)
+		}
+		batch := make([]pathdb.Record, 0, total)
+		for _, p := range live {
+			batch = append(batch, p.Records...)
+		}
+		var err error
+		fr, err = s.fold(snap, batch)
+		if err == nil {
+			elapsed = time.Since(start)
+			break
+		}
+		var be *incr.BatchError
+		if errors.As(err, &be) {
+			if i, off := groupOwner(live, be.Index); i >= 0 {
+				live[i].Resolve(nil, appendError(&incr.BatchError{Index: be.Index - off, Err: be.Err}))
+				live = append(live[:i], live[i+1:]...)
+				continue
+			}
+		}
+		for _, p := range live {
+			p.Resolve(nil, appendError(err))
+		}
 		return
 	}
 
-	// Durability first: journal each batch, one fsync for the group. A
+	// Durability: journal each folded batch, one fsync for the group. A
 	// batch is acknowledged only after its WAL entry is stable, so a crash
-	// between here and the snapshot swap replays it on restart.
+	// between here and the snapshot swap replays it on restart. On a
+	// journal failure nothing is published: the store reservation is
+	// abandoned and the serving snapshot stands.
 	if s.wal != nil {
 		if err := s.journalGroup(snap, live); err != nil {
 			s.logger.Printf("append: WAL journal failed: %v", err)
@@ -125,24 +172,8 @@ func (s *Server) applyGroup(group []*ingest.Pending) {
 		}
 	}
 
-	total := 0
-	for _, p := range live {
-		total += len(p.Records)
-	}
-	batch := make([]pathdb.Record, 0, total)
-	for _, p := range live {
-		batch = append(batch, p.Records...)
-	}
-
-	start := time.Now()
-	next, stats, err := s.fold(snap, batch)
-	if err != nil {
-		for _, p := range live {
-			p.Resolve(nil, appendError(err))
-		}
-		return
-	}
-	elapsed := time.Since(start)
+	next := s.publish(snap, fr)
+	stats := fr.stats
 	s.holder.set(next)
 	s.metrics.recordAppend(elapsed, stats)
 	s.metrics.lastGroupSize.Store(int64(len(live)))
@@ -179,35 +210,67 @@ func (s *Server) journalGroup(snap *Snapshot, live []*ingest.Pending) error {
 	return nil
 }
 
+// groupOwner maps a record index in the group's concatenated batch back to
+// the request that contributed it, returning the request's position in live
+// and the offset its batch starts at (-1, 0 when the index is out of range).
+func groupOwner(live []*ingest.Pending, index int) (i, offset int) {
+	off := 0
+	for i, p := range live {
+		if index < off+len(p.Records) {
+			return i, off
+		}
+		off += len(p.Records)
+	}
+	return -1, 0
+}
+
+// foldResult is a folded-but-unpublished commit: the delta-patched cube,
+// the record-store reservation extended with the batch, and the delta
+// stats. publish commits it; dropping it instead abandons the reservation
+// and leaves the committed store and serving snapshot untouched. The split
+// lets applyGroup journal the group after the fold has validated it but
+// before any state becomes visible.
+type foldResult struct {
+	cube    *core.Cube
+	records []pathdb.Record
+	stats   *incr.Stats
+}
+
 // fold applies one concatenated batch to a copy of the serving state and
-// returns the next snapshot, without publishing it. Exactness comes from
-// incr.ApplyDelta; O(batch) memory comes from patching a Materialize copy
-// of the cube plus a copy-on-write reservation in the record store instead
-// of duplicating the database.
-func (s *Server) fold(snap *Snapshot, batch []pathdb.Record) (*Snapshot, *incr.Stats, error) {
+// returns the unpublished result. Exactness comes from incr.ApplyDelta;
+// O(batch) memory comes from patching a Materialize copy of the cube plus a
+// copy-on-write reservation in the record store instead of duplicating the
+// database.
+func (s *Server) fold(snap *Snapshot, batch []pathdb.Record) (*foldResult, error) {
 	// Materialize rather than Clone: a lazily served snapshot must be fully
 	// decoded before delta-patching, and a corrupt section should fail the
 	// append loudly instead of patching an empty skeleton.
 	cube, err := snap.Cube.Materialize()
 	if err != nil {
-		return nil, nil, &httpError{http.StatusInternalServerError,
+		return nil, &httpError{http.StatusInternalServerError,
 			fmt.Sprintf("materialize serving snapshot for append: %v", err)}
 	}
 	db := &pathdb.DB{Schema: snap.DB.Schema, Records: s.store.Reserve(len(batch))}
 	stats, err := incr.ApplyDelta(cube, db, batch)
 	if err != nil {
 		// The reservation is abandoned; the committed store is untouched.
-		return nil, nil, err
+		return nil, err
 	}
-	s.store.Commit(db.Records)
 	if s.cfg.PostAppend != nil {
 		cube = s.cfg.PostAppend(cube)
 	}
-	next := newSnapshot(cube, snap.Source, s.cfg.CacheSize, 0, snap.Bytes)
+	return &foldResult{cube: cube, records: db.Records, stats: stats}, nil
+}
+
+// publish commits a fold's record reservation to the store and wraps the
+// folded cube in the next snapshot, ready for the holder swap.
+func (s *Server) publish(snap *Snapshot, fr *foldResult) *Snapshot {
+	s.store.Commit(fr.records)
+	next := newSnapshot(fr.cube, snap.Source, s.cfg.CacheSize, 0, snap.Bytes)
 	next.DB = &pathdb.DB{Schema: snap.DB.Schema, Records: s.store.Committed()}
 	next.Gen = snap.Gen + 1
 	next.SchemaGen = snap.SchemaGen
-	return next, stats, nil
+	return next
 }
 
 // appendError maps delta-maintenance failures to HTTP statuses: bad batch

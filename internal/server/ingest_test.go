@@ -268,6 +268,96 @@ func TestIngestStaleSchemaConflict(t *testing.T) {
 	}
 }
 
+// TestIngestBatchErrorIsolatedToOwner: one caller's invalid batch must not
+// fail the unrelated requests grouped with it. The owner alone gets the 400
+// (with the record index rebased to its own batch), the survivors refold
+// and commit together, and the bad batch is never journaled.
+func TestIngestBatchErrorIsolatedToOwner(t *testing.T) {
+	ex := paperex.New()
+	cfg := paperexConfig(ex)
+	sCfg := quietConfig()
+	sCfg.WALPath = filepath.Join(t.TempDir(), "ingest.wal")
+	s, err := New(paperexLoader(ex, cfg), "test", sCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	tag := s.Snapshot().SchemaGen
+	base := s.Snapshot().DB.Len()
+	good1 := ingest.NewPending(append([]pathdb.Record(nil), ex.DB.Records[:2]...), tag)
+	// The invalid record (empty path) sits at position 1 of its own batch,
+	// concatenated position 3 of the group: the reported index must be
+	// rebased to the owner's batch.
+	bad := ingest.NewPending([]pathdb.Record{ex.DB.Records[2], {Dims: ex.DB.Records[2].Dims}}, tag)
+	good2 := ingest.NewPending(append([]pathdb.Record(nil), ex.DB.Records[3:5]...), tag)
+
+	// Drive the apply callback directly: the committer would deliver the
+	// same group, but only under a timing race between Submit calls.
+	s.applyGroup([]*ingest.Pending{good1, bad, good2})
+
+	_, badErr := bad.Wait()
+	if errorStatus(badErr) != http.StatusBadRequest {
+		t.Fatalf("bad batch: err %v, want 400", badErr)
+	}
+	if !strings.Contains(badErr.Error(), "record 1") {
+		t.Errorf("bad batch error %q does not carry the index rebased to its own batch", badErr)
+	}
+	for i, p := range []*ingest.Pending{good1, good2} {
+		resp, err := p.Wait()
+		if err != nil {
+			t.Fatalf("good batch %d failed alongside the bad one: %v", i, err)
+		}
+		if got := resp.(map[string]any)["group_records"]; got != 4 {
+			t.Errorf("good batch %d group_records = %v, want 4 (the two surviving batches)", i, got)
+		}
+	}
+	if got := s.Snapshot().DB.Len(); got != base+4 {
+		t.Errorf("snapshot has %d records, want %d (both good batches, not the bad one)", got, base+4)
+	}
+	if got := s.Metrics().Ingest.WALEntries; got != 2 {
+		t.Errorf("wal_entries = %d, want 2 (the rejected batch must never be journaled)", got)
+	}
+}
+
+// TestIngestFoldFailureLeavesWALClean pins the fold-then-journal ordering:
+// a batch that fails the fold is reported to the client with nothing
+// durable left behind, so a restart has nothing to replay — journal-first
+// would refuse to start (the replayed entry fails the same deterministic
+// fold) or double-apply a batch the client was told failed.
+func TestIngestFoldFailureLeavesWALClean(t *testing.T) {
+	ex := paperex.New()
+	cfg := paperexConfig(ex)
+	sCfg := quietConfig()
+	sCfg.WALPath = filepath.Join(t.TempDir(), "ingest.wal")
+	s, err := New(paperexLoader(ex, cfg), "test", sCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bad := ingest.NewPending([]pathdb.Record{{Dims: ex.DB.Records[0].Dims}}, s.Snapshot().SchemaGen)
+	s.applyGroup([]*ingest.Pending{bad})
+	if _, err := bad.Wait(); errorStatus(err) != http.StatusBadRequest {
+		t.Fatalf("bad batch: err %v, want 400", err)
+	}
+	if got := s.Metrics().Ingest.WALEntries; got != 0 {
+		t.Fatalf("wal_entries = %d after a failed fold, want 0", got)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := New(paperexLoader(ex, cfg), "test", sCfg)
+	if err != nil {
+		t.Fatalf("restart after failed fold: %v", err)
+	}
+	defer s2.Close()
+	if got := s2.Snapshot().DB.Len(); got != len(ex.DB.Records) {
+		t.Errorf("restart has %d records, want the %d base records (failed batch replayed)",
+			got, len(ex.DB.Records))
+	}
+}
+
 // TestIngestStressConcurrent is the -race stress test for the group-commit
 // write path: disjoint two-record batches fired from many goroutines while
 // readers spin on the snapshot pointer. No update may be lost (every record

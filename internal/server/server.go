@@ -189,13 +189,24 @@ func (s *Server) openWAL(ctx context.Context, snap *Snapshot) (*Snapshot, error)
 			return nil, fmt.Errorf("server: WAL %s holds %d entries but the snapshot has no path database to replay them into",
 				s.cfg.WALPath, w.Entries())
 		}
-		replayed := 0
+		replayed, skipped, entry := 0, 0, 0
 		err := w.ReplayContext(ctx, snap.DB.Schema, func(batch []pathdb.Record) error {
-			next, _, ferr := s.fold(snap, batch)
+			entry++
+			fr, ferr := s.fold(snap, batch)
 			if ferr != nil {
-				return ferr
+				// Every journaled batch folded cleanly once before it was
+				// acknowledged (applyGroup journals after the fold), so a
+				// fold failure here means the base snapshot changed out
+				// from under the journal — a replaced source file, say.
+				// Skip the entry and keep the server bootable rather than
+				// refusing to start over state the operator can't fix
+				// without deleting the WAL by hand.
+				skipped++
+				s.logger.Printf("WAL %s: entry %d no longer folds against the loaded snapshot, skipping: %v",
+					s.cfg.WALPath, entry-1, ferr)
+				return nil
 			}
-			snap = next
+			snap = s.publish(snap, fr)
 			replayed++
 			return nil
 		})
@@ -203,7 +214,8 @@ func (s *Server) openWAL(ctx context.Context, snap *Snapshot) (*Snapshot, error)
 			_ = w.Close()
 			return nil, fmt.Errorf("server: replay WAL %s: %w", s.cfg.WALPath, err)
 		}
-		s.logger.Printf("replayed %d WAL entries from %s: %d cells", replayed, s.cfg.WALPath, snap.Cube.NumCells())
+		s.logger.Printf("replayed %d WAL entries from %s (%d skipped): %d cells",
+			replayed, s.cfg.WALPath, skipped, snap.Cube.NumCells())
 	}
 	s.wal = w
 	s.metrics.walEntries.Store(int64(w.Entries()))
