@@ -2,7 +2,7 @@
 # scripts/check.sh (vet + build + flowlint + race-detector tests + cluster
 # bench smoke + short fuzz).
 
-.PHONY: build test check lint fuzz-short fuzz-long bench bench-serve bench-persist bench-incr bench-ingest bench-cluster
+.PHONY: build test check lint fuzz-short fuzz-long bench bench-serve bench-persist bench-incr bench-ingest bench-cluster bench-olap
 
 build:
 	go build ./...
@@ -26,6 +26,7 @@ lint:
 # of each newly interesting input would dwarf the fuzz time itself.
 fuzz-short:
 	go test ./internal/core -run '^$$' -fuzz FuzzParseCellSpec -fuzztime 10s
+	go test ./internal/olap -run '^$$' -fuzz FuzzParseQuery -fuzztime 10s
 	go test ./internal/core -run '^$$' -fuzz FuzzLoadSnapshot -fuzztime 10s -fuzzminimizetime 10x
 	go test ./internal/pathdb -run '^$$' -fuzz FuzzRead -fuzztime 10s
 	go test ./internal/incr -run '^$$' -fuzz FuzzApplyDelta -fuzztime 10s
@@ -36,6 +37,7 @@ fuzz-short:
 # four targets finish inside the job timeout.
 fuzz-long:
 	go test ./internal/core -run '^$$' -fuzz FuzzParseCellSpec -fuzztime 100s
+	go test ./internal/olap -run '^$$' -fuzz FuzzParseQuery -fuzztime 100s
 	go test ./internal/core -run '^$$' -fuzz FuzzLoadSnapshot -fuzztime 100s -fuzzminimizetime 10x
 	go test ./internal/pathdb -run '^$$' -fuzz FuzzRead -fuzztime 100s
 	go test ./internal/incr -run '^$$' -fuzz FuzzApplyDelta -fuzztime 100s
@@ -76,3 +78,9 @@ bench-ingest:
 # BENCH_cluster.json. See DESIGN.md "Cluster architecture".
 bench-cluster:
 	go run ./cmd/flowbench -cluster -quiet -cluster-out BENCH_cluster.json
+
+# Regenerate the OLAP query-algebra benchmark suite (computed vs
+# materialized answer latency, materialization-planner budget sweep with
+# per-cell digest verification).
+bench-olap:
+	go run ./cmd/flowbench -olap -quiet -olap-out BENCH_olap.json

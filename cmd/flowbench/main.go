@@ -10,6 +10,7 @@
 //	flowbench -ablation pruning,merge,counting,redundancy,iceberg,engine,parallel
 //	flowbench -persist -persist-out BENCH_persist.json
 //	flowbench -incr -incr-out BENCH_incr.json
+//	flowbench -olap -olap-out BENCH_olap.json
 //
 // Scale multiplies the paper's database sizes; the default 0.1 sweeps
 // 10k–100k paths and completes in minutes. Absolute times will not match
@@ -58,6 +59,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	incrOut := fs.String("incr-out", "", "write the incremental benchmark suite as JSON to this file (default stdout)")
 	ingest := fs.Bool("ingest", false, "run the ingest write-path benchmarks (group commit vs serialized appends, reader tail latency, restricted re-mine)")
 	ingestOut := fs.String("ingest-out", "", "write the ingest benchmark suite as JSON to this file (default stdout)")
+	olapBench := fs.Bool("olap", false, "run the OLAP query-algebra benchmarks (computed vs materialized latency, planner budget sweep)")
+	olapOut := fs.String("olap-out", "", "write the OLAP benchmark suite as JSON to this file (default stdout)")
 	clusterBench := fs.Bool("cluster", false, "run the sharded-cluster benchmarks (single node vs router over 1/2/4 shard processes)")
 	clusterOut := fs.String("cluster-out", "", "write the cluster benchmark suite as JSON to this file (default stdout)")
 	clusterServe := fs.String("cluster-serve", "", "internal: serve one snapshot for the cluster bench (prints the URL, exits on stdin EOF)")
@@ -71,7 +74,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return bench.ClusterServe(context.Background(), *clusterServe, os.Stdin, stdout)
 	}
 
-	if *fig == "" && *ablation == "" && !*micro && !*persist && !*incr && !*ingest && !*clusterBench {
+	if *fig == "" && *ablation == "" && !*micro && !*persist && !*incr && !*ingest && !*clusterBench && !*olapBench {
 		*fig = "all"
 	}
 
@@ -173,6 +176,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if *ingest {
 		if err := writeJSON(bench.Ingest(context.Background(), opts), *ingestOut, stdout); err != nil {
+			return err
+		}
+	}
+	if *olapBench {
+		if err := writeJSON(bench.OLAP(context.Background(), opts), *olapOut, stdout); err != nil {
 			return err
 		}
 	}

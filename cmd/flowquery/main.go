@@ -1,13 +1,17 @@
 // Command flowquery materializes a flowcube over a generated path database
-// and inspects it: cube summaries, per-cell flowgraphs (with roll-up
-// inference for missing cells), exceptions, and Graphviz output. Cubes can
-// be serialized with -save and reopened with -load, skipping the build.
+// and inspects it: cube summaries, per-cell flowgraphs (answered through
+// the OLAP algebra — roll-up, drill-down, slice, dice, and exact query-time
+// reconstruction of non-materialized cells), exceptions, and Graphviz
+// output. Cubes can be serialized with -save and reopened with -load,
+// skipping the build.
 //
 // Usage:
 //
 //	flowgen -n 20000 -out paths.fdb
 //	flowquery -in paths.fdb -summary
 //	flowquery -in paths.fdb -cell 'd0=d0.1,d1=*' -pathlevel 0
+//	flowquery -in paths.fdb -cell 'd0=d0.1' -op rollup -dim d0
+//	flowquery -in paths.fdb -op slice -select 'd1=d1.2'
 //	flowquery -in paths.fdb -cell 'd0=d0.1.0.2' -exceptions
 //	flowquery -in paths.fdb -cell 'd0=*' -dot > apex.dot
 //	flowquery -in paths.fdb -save cube.fcb
@@ -15,15 +19,20 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"net/url"
 	"os"
 	"sort"
+	"strconv"
 
 	"flowcube/internal/core"
 	"flowcube/internal/datagen"
 	"flowcube/internal/hierarchy"
+	"flowcube/internal/olap"
 	"flowcube/internal/pathdb"
 	"flowcube/internal/pdfa"
 )
@@ -45,6 +54,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 	exceptions := fs.Bool("exceptions", false, "mine and print flowgraph exceptions")
 	summary := fs.Bool("summary", false, "print cube summary statistics")
 	cellSpec := fs.String("cell", "", "cell to query: comma-separated dim=concept pairs ('*' for aggregated)")
+	op := fs.String("op", "cell", "OLAP operation: cell|rollup|drilldown|slice|dice")
+	dim := fs.String("dim", "", "dimension name -op rollup/drilldown moves along")
+	sel := fs.String("select", "", "slice/dice selectors: comma-separated dim=concept pairs")
+	maxCells := fs.Int("max", 0, "cap multi-cell results (0 = default)")
 	pathLevel := fs.Int("pathlevel", 0, "path abstraction level index (0-3)")
 	dot := fs.Bool("dot", false, "emit the queried cell's flowgraph as Graphviz dot")
 	pdfaAlpha := fs.Float64("pdfa", -1, "also learn and print an ALERGIA PDFA over the whole database at this alpha (0 = no merging)")
@@ -112,7 +125,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintf(stderr, "saved cube to %s\n", *saveCube)
 	}
 
-	if *summary || *cellSpec == "" {
+	queried := *cellSpec != "" || *sel != ""
+	if *summary || !queried {
 		printSummary(stdout, cube)
 	}
 	if *pdfaAlpha >= 0 {
@@ -126,8 +140,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		fmt.Fprintf(stdout, "PDFA over %d paths (alpha=%g):\n%s", len(paths), *pdfaAlpha, a.String(ds.Schema.Location))
 	}
-	if *cellSpec != "" {
-		return queryCell(stdout, stderr, cube, ds, *cellSpec, *pathLevel, *dot, *exceptions, *top)
+	if queried {
+		return queryCell(stdout, stderr, cube, ds, queryOpts{
+			op: *op, cell: *cellSpec, dim: *dim, sel: *sel,
+			pathLevel: *pathLevel, maxCells: *maxCells,
+			dot: *dot, exceptions: *exceptions, top: *top,
+		})
 	}
 	return nil
 }
@@ -168,23 +186,45 @@ func printSummary(w io.Writer, cube *core.Cube) {
 	}
 }
 
-func queryCell(stdout, stderr io.Writer, cube *core.Cube, ds *datagen.Dataset, spec string, pathLevel int, dot, exceptions bool, top int) error {
-	il, values, err := core.ParseCellSpec(ds.Schema, spec)
-	if err != nil {
-		return fmt.Errorf("-cell: %w", err)
-	}
-	cs := core.CuboidSpec{Item: il, PathLevel: pathLevel}
+// queryOpts carries the query-shaped flags into queryCell.
+type queryOpts struct {
+	op, cell, dim, sel  string
+	pathLevel, maxCells int
+	dot, exceptions     bool
+	top                 int
+}
 
-	if top > 0 {
-		cb := cube.Cuboid(cs)
+func queryCell(stdout, stderr io.Writer, cube *core.Cube, ds *datagen.Dataset, o queryOpts) error {
+	// The CLI shares /v2/query's parser so both surfaces name cells, ops,
+	// and selectors identically.
+	params := url.Values{}
+	params.Set("op", o.op)
+	params.Set("cell", o.cell)
+	params.Set("pathlevel", strconv.Itoa(o.pathLevel))
+	if o.dim != "" {
+		params.Set("dim", o.dim)
+	}
+	if o.sel != "" {
+		params.Set("select", o.sel)
+	}
+	if o.maxCells > 0 {
+		params.Set("max", strconv.Itoa(o.maxCells))
+	}
+	q, err := olap.ParseQuery(cube, params)
+	if err != nil {
+		return err
+	}
+
+	if o.top > 0 {
+		cb := cube.Cuboid(q.Spec)
 		if cb == nil {
-			return fmt.Errorf("cuboid %s not materialized", cs.Key())
+			return fmt.Errorf("cuboid %s not materialized", q.Spec.Key())
 		}
 		cells := cb.SortedCells()
 		sort.SliceStable(cells, func(i, j int) bool { return cells[i].Count > cells[j].Count })
-		fmt.Fprintf(stdout, "top cells of cuboid %s:\n", cs.Key())
+		fmt.Fprintf(stdout, "top cells of cuboid %s:\n", q.Spec.Key())
 		for i, c := range cells {
-			if i >= top {
+			if i >= o.top {
 				break
 			}
 			fmt.Fprintf(stdout, "  %v: %d paths\n", cellNames(ds, c.Values), c.Count)
@@ -192,29 +232,51 @@ func queryCell(stdout, stderr io.Writer, cube *core.Cube, ds *datagen.Dataset, s
 		return nil
 	}
 
-	g, src, exact, ok := cube.QueryGraph(cs, values)
-	if !ok {
-		return fmt.Errorf("no materialized cell answers %q (even by roll-up)", spec)
+	a, err := cube.Answer(context.Background(), q)
+	if err != nil {
+		if errors.Is(err, core.ErrCellNotFound) {
+			return fmt.Errorf("no materialized cell answers %q (even by roll-up)", o.cell)
+		}
+		return err
 	}
-	if !exact {
-		fmt.Fprintf(stderr, "cell below iceberg threshold; answered from ancestor %v (%d paths)\n",
-			cellNames(ds, src.Values), src.Count)
+	if len(a.Cells) == 0 {
+		return fmt.Errorf("op %s matched no answerable cells (%d skipped)", q.Op, a.Skipped)
 	}
-	if dot {
-		fmt.Fprint(stdout, g.DOT(spec))
-		return nil
+	if a.Truncated || a.Skipped > 0 {
+		fmt.Fprintf(stderr, "op %s: %d cells answered, %d skipped, truncated=%v\n",
+			q.Op, len(a.Cells), a.Skipped, a.Truncated)
 	}
-	fmt.Fprint(stdout, g)
-	if exceptions {
-		fmt.Fprintf(stdout, "%d exceptions:\n", len(g.Exceptions()))
-		for i, x := range g.Exceptions() {
-			if i >= 20 {
-				fmt.Fprintf(stdout, "  ... and %d more\n", len(g.Exceptions())-20)
-				break
+	for _, ca := range a.Cells {
+		cellName := core.FormatCell(ds.Schema, ca.Values)
+		switch ca.Provenance {
+		case core.AncestorFallback:
+			fmt.Fprintf(stderr, "cell below iceberg threshold; answered from ancestor %v (%d paths)\n",
+				cellNames(ds, ca.Source.Values), ca.Source.Count)
+		case core.ComputedFromDescendants:
+			fmt.Fprintf(stderr, "cuboid %s not materialized; cell %s reconstructed exactly by folding %d descendant cells\n",
+				ca.Spec.Key(), cellName, len(ca.Folded))
+		}
+		if o.dot {
+			// Graphviz output is one document; emit the first answered cell.
+			fmt.Fprint(stdout, ca.Graph.DOT(cellName))
+			return nil
+		}
+		if len(a.Cells) > 1 {
+			fmt.Fprintf(stdout, "cell %s (%s, %d paths):\n", cellName, ca.Provenance, ca.Source.Count)
+		}
+		fmt.Fprint(stdout, ca.Graph)
+		if o.exceptions {
+			g := ca.Graph
+			fmt.Fprintf(stdout, "%d exceptions:\n", len(g.Exceptions()))
+			for i, x := range g.Exceptions() {
+				if i >= 20 {
+					fmt.Fprintf(stdout, "  ... and %d more\n", len(g.Exceptions())-20)
+					break
+				}
+				fmt.Fprintf(stdout, "  node %v cond %v support=%d devT=%.2f devD=%.2f\n",
+					prefixNames(ds, x.Node.Prefix()), x.Condition, x.Support,
+					x.TransitionDeviation, x.DurationDeviation)
 			}
-			fmt.Fprintf(stdout, "  node %v cond %v support=%d devT=%.2f devD=%.2f\n",
-				prefixNames(ds, x.Node.Prefix()), x.Condition, x.Support,
-				x.TransitionDeviation, x.DurationDeviation)
 		}
 	}
 	return nil

@@ -65,6 +65,41 @@ func TestCellQueryAndDot(t *testing.T) {
 	}
 }
 
+func TestOLAPOps(t *testing.T) {
+	path := writeDataset(t)
+
+	// A roll-up from a level-1 cell along d0 lands on the apex cell, which
+	// holds all 300 paths.
+	var out, errw bytes.Buffer
+	if err := run([]string{"-in", path, "-minsup", "0.05", "-cell", "d0=d0.0", "-op", "rollup", "-dim", "d0"}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "flowgraph (300 paths") {
+		t.Errorf("rollup output unexpected:\n%s", out.String())
+	}
+
+	// A slice over the (d0, d1) cuboid enumerates every answerable cell
+	// pinning d0=d0.0, each headed by its name.
+	out.Reset()
+	errw.Reset()
+	if err := run([]string{"-in", path, "-minsup", "0.01", "-op", "slice", "-select", "d0=d0.0", "-cell", "d1=d1.0"}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(out.String(), "cell d0=d0.0") < 2 {
+		t.Errorf("slice output lists fewer than 2 cells:\n%s\nstderr: %s", out.String(), errw.String())
+	}
+
+	// Bad op and a rollup without -dim are rejected.
+	for _, args := range [][]string{
+		{"-in", path, "-minsup", "0.05", "-cell", "d0=d0.0", "-op", "pivot"},
+		{"-in", path, "-minsup", "0.05", "-cell", "d0=d0.0", "-op", "rollup"},
+	} {
+		if err := run(args, &out, &errw); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
 func TestTopCells(t *testing.T) {
 	path := writeDataset(t)
 	var out, errw bytes.Buffer

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -122,16 +123,21 @@ func main() {
 	}
 
 	// Roll-up inference: (sandals, nike) holds a single path — below the
-	// iceberg threshold — so the query answers from an ancestor cell.
-	q := flowcube.CuboidSpec{Item: flowcube.ItemLevel{3, 2}, PathLevel: 0}
-	g, src, exact, ok := cube.QueryGraph(q, []flowcube.NodeID{
-		product.MustLookup("sandals"), brand.MustLookup("nike"),
-	})
-	if !ok {
-		log.Fatal("fallback query failed")
+	// iceberg threshold — so the query answers from an ancestor cell, and
+	// the Answer carries that provenance.
+	q := flowcube.Query{
+		Spec: flowcube.CuboidSpec{Item: flowcube.ItemLevel{3, 2}, PathLevel: 0},
+		Values: []flowcube.NodeID{
+			product.MustLookup("sandals"), brand.MustLookup("nike"),
+		},
 	}
-	fmt.Printf("\nquery (sandals, nike): exact=%v, answered from cell with %d paths\n", exact, src.Count)
-	_ = g
+	a, err := cube.Answer(context.Background(), q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sandals := a.Cells[0]
+	fmt.Printf("\nquery (sandals, nike): provenance=%s exact=%v, answered from cell with %d paths\n",
+		sandals.Provenance, sandals.Exact, sandals.Source.Count)
 
 	// The transportation manager's Figure-5 view: warehouse kept at
 	// detail, the rest of the store collapsed.

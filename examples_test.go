@@ -27,7 +27,7 @@ func TestExampleQuickstart(t *testing.T) {
 	out := runExample(t, "quickstart")
 	for _, want := range []string{
 		"Figure 3", "Figure 4", "Exceptions in (outerwear, nike)",
-		"query (sandals, nike): exact=false",
+		"query (sandals, nike): provenance=ancestor exact=false",
 		"Transportation view",
 	} {
 		if !strings.Contains(out, want) {

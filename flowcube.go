@@ -35,8 +35,8 @@
 //		flowcube.WithDeltaLedger(), // carry sub-δ counts for ApplyDelta
 //	)
 //	cube, err := flowcube.BuildContext(ctx, db, cfg)
-//	g, _, _, _ := cube.QueryGraph(spec, values)
-//	fmt.Print(g)
+//	a, err := cube.Answer(ctx, flowcube.Query{Spec: spec, Values: values})
+//	fmt.Print(a.Cells[0].Graph)
 //
 // NewConfig validates eagerly and returns a *ConfigError for bad settings;
 // a Config literal passed to Build is validated the same way. The full
@@ -44,6 +44,19 @@
 // WithEpsilon, WithTau, WithWorkers, WithExceptions, WithDeltaLedger.
 // Build and LoadCube are the context-free forms of BuildContext and
 // LoadCubeContext.
+//
+// # Query algebra
+//
+// Cube.Answer executes one OLAP Query — a cell lookup (OpCell, the zero
+// value), a roll-up or drill-down along one dimension, or a slice/dice over
+// one cuboid — and reports per-cell Provenance: Materialized for a direct
+// hit, ComputedFromDescendants when a non-materialized cell was
+// reconstructed exactly at query time by folding a materialized descendant
+// cuboid (certified against the cell's census count, so the fold is exact
+// or refused), and AncestorFallback for the paper's roll-up inference. The
+// materialization planner in internal/olap exploits the computed path to
+// drop cuboids whose cells stay answerable; QueryGraph remains as a
+// deprecated single-cell wrapper. See DESIGN.md §12.
 //
 // # Streaming append
 //
@@ -131,6 +144,21 @@ type (
 	CuboidSpec = core.CuboidSpec
 	// ItemLevel is an item abstraction level.
 	ItemLevel = core.ItemLevel
+	// Query describes one OLAP operation for Cube.Answer.
+	Query = core.Query
+	// Answer is the result of one Query, with typed per-cell provenance.
+	Answer = core.Answer
+	// CellAnswer is one answered cell of an Answer.
+	CellAnswer = core.CellAnswer
+	// CellRef names one cell of one cuboid (e.g. the folded descendants of
+	// a computed answer).
+	CellRef = core.CellRef
+	// Selector restricts one dimension to one concept for OpSlice/OpDice.
+	Selector = core.Selector
+	// Op is the OLAP operation a Query performs.
+	Op = core.Op
+	// Provenance says how a cell was answered.
+	Provenance = core.Provenance
 	// Plan is the encoding/materialization plan.
 	Plan = transact.Plan
 	// MiningOptions configures the frequent-pattern miner directly.
@@ -151,6 +179,22 @@ const Terminate = flowgraph.Terminate
 
 // RootConcept is the NodeID of the apex concept "*" in every hierarchy.
 const RootConcept = hierarchy.Root
+
+// The OLAP operations of a Query.
+const (
+	OpCell      = core.OpCell
+	OpRollUp    = core.OpRollUp
+	OpDrillDown = core.OpDrillDown
+	OpSlice     = core.OpSlice
+	OpDice      = core.OpDice
+)
+
+// The provenance of an answered cell.
+const (
+	Materialized            = core.Materialized
+	AncestorFallback        = core.AncestorFallback
+	ComputedFromDescendants = core.ComputedFromDescendants
+)
 
 // NewHierarchy returns a hierarchy for the named dimension containing only
 // the root concept "*".

@@ -113,11 +113,9 @@ func AblationMerge(o Options) []AblationRow {
 	}
 
 	start := time.Now()
-	merged := flowgraph.New(ds.Schema.Location, level, nil)
-	for _, c := range children {
-		if err := merged.Merge(c); err != nil {
-			panic(err)
-		}
+	merged, err := flowgraph.Fold(children)
+	if err != nil {
+		panic(err)
 	}
 	mergeSec := time.Since(start).Seconds()
 

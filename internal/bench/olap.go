@@ -1,0 +1,249 @@
+package bench
+
+// The OLAP query-algebra benchmark (cmd/flowbench -olap → BENCH_olap.json):
+// what the materialization planner buys and what it costs. One eager cube
+// is built, then pruned under a sweep of query-cost budgets; each budget
+// row reports how many cuboids the planner dropped, the snapshot bytes the
+// drop saved, and the answer latency of the dropped cells — reconstructed
+// exactly at query time — next to the eager cube's materialized latency for
+// the same queries. Every reconstruction is digest-verified against its
+// eager twin, so the latency numbers measure honest, byte-identical
+// answers.
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+
+	"flowcube/internal/core"
+	"flowcube/internal/datagen"
+	"flowcube/internal/hierarchy"
+	"flowcube/internal/olap"
+)
+
+// OLAPBudgetRow is one planner budget point of the sweep.
+type OLAPBudgetRow struct {
+	// Budget is the query-cost budget (max descendant cells folded per
+	// answer); 0 means unlimited.
+	Budget int `json:"budget"`
+	// CuboidsDropped and CellsDropped census what the planner pruned.
+	CuboidsDropped int `json:"cuboids_dropped"`
+	CellsDropped   int `json:"cells_dropped"`
+	// MaxFold is the widest fold any computed cell needs under this budget.
+	MaxFold int `json:"max_fold"`
+	// SnapshotBytes is the serialized cube size after pruning;
+	// SavingsPct is the reduction against the eager snapshot.
+	SnapshotBytes int64   `json:"snapshot_bytes"`
+	SavingsPct    float64 `json:"savings_pct"`
+	// ComputedP50Ms/P99Ms are answer latencies for dropped cells,
+	// reconstructed at query time.
+	ComputedP50Ms float64 `json:"computed_p50_ms"`
+	ComputedP99Ms float64 `json:"computed_p99_ms"`
+}
+
+// OLAPSuite is the -olap benchmark serialized to BENCH_olap.json.
+type OLAPSuite struct {
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Paths      int    `json:"paths"`
+	MinCount   int64  `json:"min_count"`
+	Seed       int64  `json:"seed"`
+	// Queries is how many dropped-cell queries the latency percentiles
+	// cover; Iters how often each ran.
+	Queries int `json:"queries"`
+	Iters   int `json:"iters"`
+	// EagerSnapshotBytes is the unpruned cube's serialized size.
+	EagerSnapshotBytes int64 `json:"eager_snapshot_bytes"`
+	// MaterializedP50Ms/P99Ms are the same queries answered by the eager
+	// cube (direct cell hits) — the baseline computed latency compares to.
+	MaterializedP50Ms float64 `json:"materialized_p50_ms"`
+	MaterializedP99Ms float64 `json:"materialized_p99_ms"`
+	// ComputedOverMaterialized is the unlimited-budget p50 ratio: how much
+	// a reconstructed answer costs relative to a materialized one.
+	ComputedOverMaterialized float64 `json:"computed_over_materialized_p50"`
+	// DigestVerified confirms sampled reconstructions digested
+	// byte-identical to their eager cells.
+	DigestVerified bool `json:"digest_verified"`
+	// Budgets sweeps the planner's query-cost budget, unlimited last.
+	Budgets []OLAPBudgetRow `json:"budgets"`
+}
+
+// olapIters is how often each sampled query runs; the percentile pool is
+// queries × iters.
+const olapIters = 5
+
+// countingWriter measures a serialized snapshot without keeping it.
+type countingWriter struct{ n int64 }
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	w.n += int64(len(p))
+	return len(p), nil
+}
+
+// OLAP benchmarks the query algebra over partially materialized cubes.
+func OLAP(ctx context.Context, o Options) OLAPSuite {
+	cfg := o.baseConfig()
+	cfg.NumPaths = int(20_000 * o.scale())
+	ds := datagen.MustGenerate(cfg)
+	n := ds.DB.Len()
+	minCount := o.minCount(0.01, n)
+
+	// Exceptions stay off: exception-bearing cells are holistic (paper
+	// Lemma 4.3) and never verify, so the planner would refuse every drop.
+	build := func() *core.Cube {
+		cube, err := core.Build(ds.DB, core.Config{
+			MinCount: minCount,
+			Plan:     ds.DefaultPlan(),
+			Workers:  runtime.GOMAXPROCS(0),
+		})
+		if err != nil {
+			panic(fmt.Sprintf("bench: olap build failed: %v", err))
+		}
+		return cube
+	}
+	eager := build()
+
+	suite := OLAPSuite{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Paths:      n,
+		MinCount:   minCount,
+		Seed:       cfg.Seed,
+		Iters:      olapIters,
+	}
+	var cw countingWriter
+	if err := eager.Save(&cw); err != nil {
+		panic(fmt.Sprintf("bench: olap save failed: %v", err))
+	}
+	suite.EagerSnapshotBytes = cw.n
+
+	// The query sample: cells of every cuboid the unlimited-budget planner
+	// drops — the cells that exist materialized in the eager cube and only
+	// computed in the pruned ones.
+	unlimited := build()
+	res, err := olap.Prune(ctx, unlimited, olap.PlannerConfig{})
+	if err != nil {
+		panic(fmt.Sprintf("bench: olap prune failed: %v", err))
+	}
+	if len(res.Dropped) == 0 {
+		panic("bench: olap planner dropped nothing; no computed cells to measure")
+	}
+	type query struct {
+		spec   core.CuboidSpec
+		values []hierarchy.NodeID
+	}
+	var queries []query
+	const maxQueries = 64
+	for _, d := range res.Dropped {
+		spec, err := core.ParseCuboidKey(d.Cuboid)
+		if err != nil {
+			panic(fmt.Sprintf("bench: olap bad dropped cuboid key %q: %v", d.Cuboid, err))
+		}
+		for _, cell := range eager.Cuboid(spec).SortedCells() {
+			if len(queries) >= maxQueries {
+				break
+			}
+			queries = append(queries, query{spec, cell.Values})
+		}
+	}
+	suite.Queries = len(queries)
+
+	// Digest honesty: sampled reconstructions must be byte-identical to
+	// their eager twins (the planner verified every cell once; this re-runs
+	// the check on the artifact's own sample).
+	suite.DigestVerified = true
+	for i, q := range queries {
+		if i >= 8 {
+			break
+		}
+		rec, _, err := unlimited.ReconstructCell(ctx, q.spec, q.values)
+		if err != nil {
+			panic(fmt.Sprintf("bench: olap reconstruct %s failed: %v", q.spec.Key(), err))
+		}
+		ec, ok := eager.Cell(q.spec, q.values)
+		if !ok || core.CellDigest(rec) != core.CellDigest(ec) {
+			suite.DigestVerified = false
+		}
+	}
+
+	answerAll := func(cube *core.Cube, wantExact bool) (p50, p99 float64) {
+		lat := make([]time.Duration, 0, len(queries)*olapIters)
+		for i := 0; i < olapIters; i++ {
+			for _, q := range queries {
+				start := time.Now()
+				a, err := cube.Answer(ctx, core.Query{Spec: q.spec, Values: q.values})
+				d := time.Since(start)
+				if err != nil {
+					panic(fmt.Sprintf("bench: olap answer %s failed: %v", q.spec.Key(), err))
+				}
+				if wantExact && !a.Cells[0].Exact {
+					panic(fmt.Sprintf("bench: olap answer %s not exact", q.spec.Key()))
+				}
+				lat = append(lat, d)
+			}
+		}
+		return percentileMs(lat, 0.50), percentileMs(lat, 0.99)
+	}
+
+	suite.MaterializedP50Ms, suite.MaterializedP99Ms = answerAll(eager, true)
+	o.progress("olap: %d queries materialized p50 %.4f ms p99 %.4f ms",
+		len(queries), suite.MaterializedP50Ms, suite.MaterializedP99Ms)
+
+	// The budget sweep, unlimited (0) last so its row doubles as the
+	// headline computed latency.
+	for _, budget := range []int{1, 4, 16, 64, 0} {
+		pruned := unlimited
+		plan := res
+		if budget != 0 {
+			pruned = build()
+			plan, err = olap.Prune(ctx, pruned, olap.PlannerConfig{CostBudget: budget})
+			if err != nil {
+				panic(fmt.Sprintf("bench: olap prune (budget %d) failed: %v", budget, err))
+			}
+		}
+		row := OLAPBudgetRow{Budget: budget}
+		cells := 0
+		for _, d := range plan.Dropped {
+			cells += d.Cells
+			if d.MaxFold > row.MaxFold {
+				row.MaxFold = d.MaxFold
+			}
+		}
+		row.CuboidsDropped = len(plan.Dropped)
+		row.CellsDropped = cells
+		var cw countingWriter
+		if err := pruned.Save(&cw); err != nil {
+			panic(fmt.Sprintf("bench: olap save (budget %d) failed: %v", budget, err))
+		}
+		row.SnapshotBytes = cw.n
+		if suite.EagerSnapshotBytes > 0 {
+			row.SavingsPct = 100 * float64(suite.EagerSnapshotBytes-row.SnapshotBytes) / float64(suite.EagerSnapshotBytes)
+		}
+		// Dropped cells answer exactly on every pruned cube: a cell whose
+		// cuboid survived this tighter budget is a materialized hit, the
+		// rest reconstruct.
+		row.ComputedP50Ms, row.ComputedP99Ms = answerAll(pruned, true)
+		suite.Budgets = append(suite.Budgets, row)
+		o.progress("olap: budget %d dropped %d cuboids (%d cells), snapshot %d B (-%.1f%%), p50 %.4f ms p99 %.4f ms",
+			budget, row.CuboidsDropped, row.CellsDropped, row.SnapshotBytes, row.SavingsPct,
+			row.ComputedP50Ms, row.ComputedP99Ms)
+	}
+	last := suite.Budgets[len(suite.Budgets)-1]
+	if suite.MaterializedP50Ms > 0 {
+		suite.ComputedOverMaterialized = last.ComputedP50Ms / suite.MaterializedP50Ms
+	}
+	return suite
+}
+
+// percentileMs returns the q-quantile of the latencies in milliseconds.
+func percentileMs(lat []time.Duration, q float64) float64 {
+	if len(lat) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), lat...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(q * float64(len(sorted)-1))
+	return float64(sorted[idx].Nanoseconds()) / 1e6
+}

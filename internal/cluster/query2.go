@@ -1,0 +1,310 @@
+package cluster
+
+// Routed /v2/query: the OLAP cell query over a shard fleet. A materialized
+// cell lives on exactly one shard (owner fast path, as /v1/cell). A cell of
+// a planner-dropped cuboid is different: its fold sources — the cells of a
+// materialized descendant cuboid — are scattered across shards, so no shard
+// can certify the census locally and each refuses to reconstruct. The
+// router runs the reconstruction itself: it scatters GET /v2/partial,
+// merges each descendant cuboid's per-shard slices, and folds the first
+// cuboid whose summed counts match the census — the same exactness
+// certificate core.ReconstructCell applies on one node, so a scattered fold
+// is either exact or refused. Refused folds fall back to the ancestor
+// scatter, ranked exactly like /v1/cell.
+//
+// Only op=cell is routed; the multi-cell ops (drilldown, slice, dice) need
+// cross-shard cell enumeration the router does not implement — they answer
+// 501. op=rollup is resolved to its target cell locally (pure schema
+// navigation on the metadata snapshot) and routed as that cell query, so a
+// routed roll-up body echoes op "cell".
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+
+	"flowcube/internal/core"
+	"flowcube/internal/flowgraph"
+	"flowcube/internal/hierarchy"
+	"flowcube/internal/olap"
+	"flowcube/internal/server"
+)
+
+// queryProbe is the slice of a shard's /v2/query body the router needs for
+// relay decisions and ancestor ranking.
+type queryProbe struct {
+	Cells []struct {
+		Provenance string `json:"provenance"`
+		Source     struct {
+			Cell string `json:"cell"`
+		} `json:"source"`
+	} `json:"cells"`
+}
+
+// handleQueryV2 routes one OLAP cell query.
+func (rt *Router) handleQueryV2(w http.ResponseWriter, r *http.Request) {
+	q, err := olap.ParseQuery(rt.meta, r.URL.Query())
+	if err != nil {
+		writeError(w, &httpError{http.StatusBadRequest, err.Error()})
+		return
+	}
+	if q.Op != core.OpCell && q.Op != core.OpRollUp {
+		writeError(w, &httpError{http.StatusNotImplemented,
+			fmt.Sprintf("op %s is not implemented by the cluster router; use op=cell or query a shard directly", q.Op)})
+		return
+	}
+	spec, values := q.Spec, q.Values
+	if q.Op == core.OpRollUp {
+		// Resolve the roll-up locally (pure schema navigation) and route the
+		// resulting cell query.
+		var ra *core.Answer
+		ra, err = rollUpTarget(rt.meta, q)
+		if err != nil {
+			writeError(w, &httpError{http.StatusBadRequest, err.Error()})
+			return
+		}
+		spec, values = ra.Query.Spec, ra.Query.Values
+	}
+
+	probe := "/v2/query?op=cell&cell=" + url.QueryEscape(core.FormatCell(rt.meta.Schema, values)) +
+		"&pathlevel=" + strconv.Itoa(spec.PathLevel)
+	if q.NoCompute {
+		probe += "&nocompute=1"
+	}
+	ctx := r.Context()
+
+	// Owner fast path: a materialized answer for the requested cell can only
+	// come from its owner shard.
+	owner := rt.part.Owner(values)
+	ownerRes := rt.call(ctx, rt.shards[owner], http.MethodGet, probe, nil, "", rt.cfg.ShardTimeout)
+	if ownerRes.Err == nil && ownerRes.Status == http.StatusOK {
+		var p queryProbe
+		if json.Unmarshal(ownerRes.Body, &p) == nil && len(p.Cells) == 1 && p.Cells[0].Provenance == "materialized" {
+			relay(w, ownerRes)
+			return
+		}
+	}
+
+	// Router-side reconstruction from scattered descendants. Marshaled
+	// exactly as server.computeQueryV2 marshals (MarshalIndent, no trailing
+	// newline) so routed computed bodies are byte-identical to single-node
+	// ones.
+	if !q.NoCompute {
+		if resp, ok := rt.foldPartials(ctx, spec, values); ok {
+			body, err := json.MarshalIndent(resp, "", "  ")
+			if err != nil {
+				writeError(w, err)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusOK)
+			w.Write(body) //nolint:errcheck
+			return
+		}
+	}
+
+	// Ancestor fallback: every shard answers its best local inference (a
+	// shard that can certify a reconstruction locally answers computed for
+	// the cell itself, rank 0); the minimum BFS discovery rank across shards
+	// is the single-node answer.
+	results := rt.scatter(ctx, http.MethodGet, probe, nil, "", rt.cfg.ShardTimeout, owner)
+	results[owner] = ownerRes
+	ranks := bfsRanks(rt.meta, spec, values)
+	best, bestRank := -1, 0
+	for i, res := range results {
+		if res.Err != nil {
+			writeError(w, &httpError{http.StatusBadGateway, fmt.Sprintf("shard %s unreachable: %v", res.Shard, res.Err)})
+			return
+		}
+		if res.Status == http.StatusNotFound {
+			continue
+		}
+		if res.Status != http.StatusOK {
+			writeError(w, &httpError{http.StatusBadGateway, fmt.Sprintf("shard %s answered status %d", res.Shard, res.Status)})
+			return
+		}
+		var p queryProbe
+		if err := json.Unmarshal(res.Body, &p); err != nil || len(p.Cells) != 1 {
+			writeError(w, &httpError{http.StatusBadGateway, fmt.Sprintf("shard %s answered an unparseable query response", res.Shard)})
+			return
+		}
+		rank, ok := rt.sourceRank(ranks, p.Cells[0].Source.Cell, spec.PathLevel)
+		if !ok {
+			writeError(w, &httpError{http.StatusBadGateway,
+				fmt.Sprintf("shard %s answered from cell %q, which the router's snapshot does not reach", res.Shard, p.Cells[0].Source.Cell)})
+			return
+		}
+		if best < 0 || rank < bestRank {
+			best, bestRank = i, rank
+		}
+	}
+	if best < 0 {
+		relay(w, ownerRes)
+		return
+	}
+	relay(w, results[best])
+}
+
+// rollUpTarget resolves a roll-up to the cell it queries using only schema
+// metadata: Answer on the cell-less meta cube never finds a materialized
+// cell, but validateQuery plus the roll-up navigation run first, and the
+// navigated target is echoed in the returned error-free query. To keep the
+// meta cube pure we re-derive the target with the exported pieces instead.
+func rollUpTarget(meta *core.Cube, q core.Query) (*core.Answer, error) {
+	spec, values, err := meta.RollUpRef(q.Spec, q.Values, q.Dim)
+	if err != nil {
+		return nil, err
+	}
+	return &core.Answer{Query: core.Query{Op: core.OpCell, Spec: spec, Values: values, NoCompute: q.NoCompute}}, nil
+}
+
+// foldPartials scatters /v2/partial and reconstructs the cell when the
+// shards' slices certify it: the requested cuboid is materialized nowhere,
+// a census count exists, and some descendant cuboid's counts sum to it.
+func (rt *Router) foldPartials(ctx context.Context, spec core.CuboidSpec, values []hierarchy.NodeID) (server.QueryResponse, bool) {
+	pu := "/v2/partial?cell=" + url.QueryEscape(core.FormatCell(rt.meta.Schema, values)) +
+		"&pathlevel=" + strconv.Itoa(spec.PathLevel)
+	results := rt.scatter(ctx, http.MethodGet, pu, nil, "", rt.cfg.ShardTimeout, -1)
+
+	census := int64(-1)
+	type slice struct {
+		unusable bool
+		cells    []server.PartialCellJSON
+	}
+	bySpec := map[string]*slice{}
+	var order []string
+	for _, res := range results {
+		if res.Err != nil || res.Status != http.StatusOK {
+			// A shard the fold might need is unreachable or refused; the
+			// certificate cannot be established. Fall back.
+			return server.QueryResponse{}, false
+		}
+		var p server.PartialResponse
+		if err := json.Unmarshal(res.Body, &p); err != nil {
+			return server.QueryResponse{}, false
+		}
+		if p.Materialized {
+			// The cuboid is materialized: the compute gate does not fire on
+			// any node, and neither may the router.
+			return server.QueryResponse{}, false
+		}
+		if p.Census > census {
+			census = p.Census
+		}
+		for _, d := range p.Descendants {
+			s := bySpec[d.Cuboid]
+			if s == nil {
+				s = &slice{}
+				bySpec[d.Cuboid] = s
+				order = append(order, d.Cuboid)
+			}
+			if d.Unusable {
+				s.unusable = true
+			}
+			s.cells = append(s.cells, d.Cells...)
+		}
+	}
+	if census < 0 {
+		return server.QueryResponse{}, false
+	}
+	// Each shard lists descendants in the shared nearest-first lattice order,
+	// but a shard omits cuboids it holds no matching cells of, so the
+	// first-appearance merge order can diverge from it. Re-rank by ladder
+	// distance (ties by key) — exactly DescendantSpecs' order — so the router
+	// folds the same cuboid a single node would.
+	dist := make(map[string]int, len(order))
+	for _, key := range order {
+		dist[key] = 1 << 30
+		if ds, err := core.ParseCuboidKey(key); err == nil {
+			if d, ok := rt.meta.LatticeDist(spec, ds); ok {
+				dist[key] = d
+			}
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if dist[order[i]] != dist[order[j]] {
+			return dist[order[i]] < dist[order[j]]
+		}
+		return order[i] < order[j]
+	})
+	for _, key := range order {
+		s := bySpec[key]
+		if s.unusable || len(s.cells) == 0 {
+			continue
+		}
+		var sum int64
+		for _, c := range s.cells {
+			sum += c.Count
+		}
+		if sum != census {
+			continue
+		}
+		ds, err := core.ParseCuboidKey(key)
+		if err != nil {
+			continue
+		}
+		type entry struct {
+			key    string
+			values []hierarchy.NodeID
+			graph  *flowgraph.Graph
+		}
+		entries := make([]entry, 0, len(s.cells))
+		ok := true
+		for _, c := range s.cells {
+			g, err := rt.meta.DecodeGraph(ds.PathLevel, c.Graph)
+			if err != nil {
+				ok = false
+				break
+			}
+			_, cv, err := core.ParseCellSpec(rt.meta.Schema, c.Cell)
+			if err != nil {
+				ok = false
+				break
+			}
+			entries = append(entries, entry{core.CellKey(cv), cv, g})
+		}
+		if !ok {
+			continue
+		}
+		// A shard enumerates its slice in cell-key order, but the merge
+		// concatenates slices in shard order; re-sorting restores the order a
+		// single node folds in, so the routed body is byte-identical to the
+		// single-node one (the fold itself is order-independent).
+		sort.Slice(entries, func(i, j int) bool { return entries[i].key < entries[j].key })
+		graphs := make([]*flowgraph.Graph, 0, len(entries))
+		folded := make([]core.CellRef, 0, len(entries))
+		for _, e := range entries {
+			graphs = append(graphs, e.graph)
+			folded = append(folded, core.CellRef{Spec: ds, Values: e.values})
+		}
+		g, err := flowgraph.Fold(graphs)
+		if err != nil {
+			continue
+		}
+		ca := core.CellAnswer{
+			Spec:       spec,
+			Values:     values,
+			Provenance: core.ComputedFromDescendants,
+			Exact:      true,
+			SourceSpec: spec,
+			Source: &core.Cell{
+				Values:     values,
+				Count:      census,
+				Graph:      g,
+				Similarity: core.SimilarityUnknown,
+			},
+			Folded: folded,
+			Graph:  g,
+		}
+		a := &core.Answer{
+			Query: core.Query{Op: core.OpCell, Spec: spec, Values: values},
+			Cells: []core.CellAnswer{ca},
+		}
+		return server.RenderQueryResponse(rt.meta, a), true
+	}
+	return server.QueryResponse{}, false
+}

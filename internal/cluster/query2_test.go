@@ -1,0 +1,157 @@
+package cluster_test
+
+// Routed /v2/query tests: the owner fast path for materialized cells, the
+// router-side scattered fold for cells of planner-dropped cuboids (the
+// census certificate makes it exact or refused, never wrong), the ranked
+// ancestor fallback under nocompute, local roll-up resolution, and the 501
+// for multi-cell ops.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+
+	"flowcube/internal/core"
+	"flowcube/internal/olap"
+	"flowcube/internal/paperex"
+	"flowcube/internal/pathdb"
+	"flowcube/internal/transact"
+)
+
+// prunedPaperex builds the paper's running example twice — eager and
+// planner-pruned — without exceptions (exception-bearing cuboids are never
+// droppable) and with MinCount 1 so no iceberg truncation blocks
+// reconstruction.
+func prunedPaperex(t *testing.T) (eager, pruned *core.Cube, res *olap.PlanResult) {
+	t.Helper()
+	build := func() *core.Cube {
+		ex := paperex.New()
+		plan := transact.Plan{PathLevels: []pathdb.PathLevel{
+			ex.BasePathLevel(),
+			ex.TransportPathLevel(),
+		}}
+		cube, err := core.Build(ex.DB, core.Config{MinCount: 1, Plan: plan})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cube
+	}
+	eager, pruned = build(), build()
+	res, err := olap.Prune(context.Background(), pruned, olap.PlannerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Dropped) == 0 {
+		t.Fatal("planner dropped nothing; the routed-fold test needs computed cells")
+	}
+	return eager, pruned, res
+}
+
+// queryBody is the slice of a /v2/query response the assertions need.
+type queryBody struct {
+	Op    string `json:"op"`
+	Cells []struct {
+		Cell       string `json:"cell"`
+		Provenance string `json:"provenance"`
+		Exact      bool   `json:"exact"`
+		Source     struct {
+			Count int64 `json:"count"`
+		} `json:"source"`
+		Folded []struct {
+			Cuboid string `json:"cuboid"`
+			Cell   string `json:"cell"`
+		} `json:"folded"`
+	} `json:"cells"`
+}
+
+// TestRouterQueryV2 splits a planner-pruned cube and checks the routed v2
+// surface: every cell of the eager cube — materialized (owner relay),
+// dropped (router-side scattered fold), and inferred — answers byte-for-byte
+// as a single node over the same pruned cube, and a dropped cuboid's cell
+// carries computed provenance with the eager cell's exact count.
+func TestRouterQueryV2(t *testing.T) {
+	eager, pruned, res := prunedPaperex(t)
+	fx := newFixture(t, pruned, 3)
+
+	dropped := make(map[string]bool)
+	for _, d := range res.Dropped {
+		dropped[d.Cuboid] = true
+	}
+
+	var computedURL string
+	var computedCount int64
+	for _, spec := range eager.MaterializedSpecs() {
+		cb := eager.Cuboid(spec)
+		for _, cell := range cb.SortedCells() {
+			u := fmt.Sprintf("/v2/query?op=cell&cell=%s&pathlevel=%d",
+				core.FormatCell(eager.Schema, cell.Values), spec.PathLevel)
+			fx.assertSame(t, u, false)
+			if dropped[spec.Key()] && computedURL == "" {
+				computedURL, computedCount = u, cell.Count
+			}
+		}
+	}
+	if computedURL == "" {
+		t.Fatal("no dropped cuboid cell was enumerated; fixture does not exercise the scattered fold")
+	}
+
+	// The dropped cell reconstructs through the router with the exact eager
+	// count and the folded descendants listed.
+	rec := get(fx.router.Handler(), computedURL)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET %s: status %d: %s", computedURL, rec.Code, rec.Body)
+	}
+	var body queryBody
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Cells) != 1 {
+		t.Fatalf("computed cell answered %d cells, want 1", len(body.Cells))
+	}
+	c0 := body.Cells[0]
+	if c0.Provenance != "computed" || !c0.Exact {
+		t.Fatalf("dropped cell provenance/exact = %s/%v, want computed/true", c0.Provenance, c0.Exact)
+	}
+	if c0.Source.Count != computedCount {
+		t.Fatalf("computed cell count = %d, eager cell has %d", c0.Source.Count, computedCount)
+	}
+	if len(c0.Folded) == 0 {
+		t.Fatal("computed cell lists no folded descendants")
+	}
+
+	// With reconstruction disabled the same cell answers by ancestor
+	// inference, ranked across shards exactly as a single node discovers it.
+	fx.assertSame(t, computedURL+"&nocompute=1", false)
+
+	// A roll-up resolves on the router's metadata snapshot and routes as the
+	// target cell query.
+	rec = get(fx.router.Handler(), "/v2/query?op=rollup&cell=product=shoes,brand=nike&dim=product")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("routed rollup: status %d: %s", rec.Code, rec.Body)
+	}
+	body = queryBody{}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Cells) != 1 || body.Cells[0].Cell != "product=clothing,brand=nike" {
+		t.Fatalf("routed rollup answered %+v, want product=clothing,brand=nike", body.Cells)
+	}
+
+	// Multi-cell ops need cross-shard enumeration the router does not do.
+	rec = get(fx.router.Handler(), "/v2/query?op=slice&select=brand=nike")
+	if rec.Code != http.StatusNotImplemented {
+		t.Fatalf("routed slice: status %d, want 501: %s", rec.Code, rec.Body)
+	}
+	if !strings.Contains(rec.Body.String(), "not implemented") {
+		t.Fatalf("routed slice body: %s", rec.Body)
+	}
+
+	// Parse errors surface as 400 without touching any shard.
+	rec = get(fx.router.Handler(), "/v2/query?op=pivot")
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("routed bad op: status %d, want 400: %s", rec.Code, rec.Body)
+	}
+}

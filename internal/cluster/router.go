@@ -152,6 +152,7 @@ func (rt *Router) routeTable() http.Handler {
 			`{"error":"request timed out"}`)
 	}
 	mux.Handle("GET /v1/cell", timeout(rt.handleCell))
+	mux.Handle("GET /v2/query", timeout(rt.handleQueryV2))
 	mux.Handle("GET /v1/summary", timeout(rt.handleSummary))
 	mux.Handle("GET /v1/exceptions", timeout(rt.handleExceptions))
 	mux.Handle("GET /v1/cuboids", timeout(rt.handleCuboids))

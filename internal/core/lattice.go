@@ -1,0 +1,193 @@
+package core
+
+// Lattice navigation for the OLAP engine: enumerating materialized cuboids,
+// locating the materialized descendants a non-materialized cell can be
+// folded from, and moving cell values between item levels. Everything here
+// is a pure read, lazy-aware, and safe under concurrent readers.
+
+import (
+	"sort"
+
+	"flowcube/internal/hierarchy"
+)
+
+// MaterializedSpecs returns the spec of every materialized cuboid in
+// ascending key order. On a lazy cube this reads the section census without
+// decoding any cells.
+func (c *Cube) MaterializedSpecs() []CuboidSpec {
+	if c.lazy != nil {
+		sums := c.CuboidSummaries()
+		out := make([]CuboidSpec, len(sums))
+		for i, s := range sums {
+			out[i] = CuboidSpec{Item: s.Item, PathLevel: s.PathLevel}
+		}
+		return out
+	}
+	keys := make([]string, 0, len(c.Cuboids))
+	for k := range c.Cuboids {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]CuboidSpec, len(keys))
+	for i, k := range keys {
+		out[i] = c.Cuboids[k].Spec
+	}
+	return out
+}
+
+// levelRank returns the position of item level l within dimension d's
+// materialized level ladder ({'*'} ∪ plan levels): 0 for '*', 1 for the
+// first materialized level, and so on. Unknown levels rank below '*' so a
+// malformed spec never counts as a descendant.
+func (c *Cube) levelRank(d, l int) int {
+	if l == 0 {
+		return 0
+	}
+	for i, ml := range c.Symbols.DimLevels()[d] {
+		if ml == l {
+			return i + 1
+		}
+	}
+	return -1
+}
+
+// DescendantSpecs returns the materialized cuboids that refine spec: same
+// path level, item level strictly dominated by spec's (finer in at least
+// one dimension, coarser in none). They are ordered nearest-first — by the
+// total ladder distance from spec, ties broken by key — so fold searches
+// prefer the cheapest certificate (fewest cells to fold).
+func (c *Cube) DescendantSpecs(spec CuboidSpec) []CuboidSpec {
+	type cand struct {
+		spec CuboidSpec
+		dist int
+	}
+	var cands []cand
+	for _, ds := range c.MaterializedSpecs() {
+		dist, ok := c.LatticeDist(spec, ds)
+		if !ok {
+			continue
+		}
+		cands = append(cands, cand{spec: ds, dist: dist})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].dist != cands[j].dist {
+			return cands[i].dist < cands[j].dist
+		}
+		return cands[i].spec.Key() < cands[j].spec.Key()
+	})
+	out := make([]CuboidSpec, len(cands))
+	for i, cd := range cands {
+		out[i] = cd.spec
+	}
+	return out
+}
+
+// LatticeDist reports whether ds refines spec — same path level, item level
+// strictly dominated (finer in at least one dimension, coarser in none) —
+// and the total ladder distance between them: the nearest-first order
+// DescendantSpecs folds in. It is pure schema navigation, so metadata-only
+// cubes (core.LoadMeta) can rank scattered fold sources with it too.
+func (c *Cube) LatticeDist(spec, ds CuboidSpec) (int, bool) {
+	if ds.PathLevel != spec.PathLevel {
+		return 0, false
+	}
+	if !spec.Item.Dominates(ds.Item) || ds.Item.Key() == spec.Item.Key() {
+		return 0, false
+	}
+	dist := 0
+	for d, l := range ds.Item {
+		r, sr := c.levelRank(d, l), c.levelRank(d, spec.Item[d])
+		if r < 0 || sr < 0 {
+			return 0, false
+		}
+		dist += r - sr
+	}
+	return dist, true
+}
+
+// GeneralizeValues maps a cell's values at item level from to the coarser
+// item level to (which must dominate from). Dimensions aggregated to '*'
+// become hierarchy.Root; others climb the hierarchy with AncestorAt.
+func (c *Cube) GeneralizeValues(from, to ItemLevel, values []hierarchy.NodeID) []hierarchy.NodeID {
+	out := make([]hierarchy.NodeID, len(values))
+	for d, v := range values {
+		switch {
+		case to[d] == 0:
+			out[d] = hierarchy.Root
+		case to[d] == from[d]:
+			out[d] = v
+		default:
+			out[d] = c.Schema.Dims[d].AncestorAt(v, to[d])
+		}
+	}
+	return out
+}
+
+// CensusCount looks up the exact path count of a cell from any materialized
+// cuboid sharing the item level (counts are independent of path level: a
+// cell's count is the size of its path set, however the paths are
+// aggregated). It is the certificate anchor for computed cells: a fold of
+// descendants is exact iff the folded counts sum to the census count.
+func (c *Cube) CensusCount(spec CuboidSpec, values []hierarchy.NodeID) (int64, bool) {
+	ilKey := spec.Item.Key()
+	for _, ms := range c.MaterializedSpecs() {
+		if ms.Item.Key() != ilKey || ms.Key() == spec.Key() {
+			continue
+		}
+		if cell, ok := c.Cell(ms, values); ok {
+			return cell.Count, true
+		}
+	}
+	return 0, false
+}
+
+// EnumerateCellValues lists the value tuples of spec's cells whether or not
+// the cuboid is materialized, in ascending cell-key order. For a dropped
+// cuboid the tuples come from a materialized cuboid at the same item level
+// (the census twin — cell sets at one item level agree across path levels
+// of an uncompressed cube), falling back to the distinct generalizations of
+// every materialized descendant's cells. The bool reports whether any
+// source was found.
+func (c *Cube) EnumerateCellValues(spec CuboidSpec) ([][]hierarchy.NodeID, bool) {
+	if cb := c.Cuboid(spec); cb != nil {
+		cells := cb.SortedCells()
+		out := make([][]hierarchy.NodeID, len(cells))
+		for i, cell := range cells {
+			out[i] = cell.Values
+		}
+		return out, true
+	}
+	ilKey := spec.Item.Key()
+	for _, ms := range c.MaterializedSpecs() {
+		if ms.Item.Key() != ilKey || ms.Key() == spec.Key() {
+			continue
+		}
+		return c.EnumerateCellValues(ms)
+	}
+	seen := map[string][]hierarchy.NodeID{}
+	found := false
+	for _, ds := range c.DescendantSpecs(spec) {
+		cb := c.Cuboid(ds)
+		if cb == nil {
+			continue
+		}
+		found = true
+		for _, cell := range cb.Cells {
+			up := c.GeneralizeValues(ds.Item, spec.Item, cell.Values)
+			seen[cellKey(up)] = up
+		}
+	}
+	if !found {
+		return nil, false
+	}
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([][]hierarchy.NodeID, len(keys))
+	for i, k := range keys {
+		out[i] = seen[k]
+	}
+	return out, true
+}

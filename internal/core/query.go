@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"flowcube/internal/flowgraph"
 	"flowcube/internal/hierarchy"
 )
@@ -124,34 +126,50 @@ func (c *Cube) Compress() int {
 // non-redundant cube's inference rule: when the requested cell is absent
 // (compressed away, or below the iceberg threshold) the nearest materialized
 // ancestor's flowgraph is returned. exact reports whether the cell itself
-// answered. The search ascends the item lattice breadth-first, so the
-// closest ancestors are preferred.
+// answered.
+//
+// Deprecated: use Answer, which carries a context, returns typed provenance
+// instead of two booleans, and reconstructs non-materialized cells exactly
+// before falling back to an ancestor. QueryGraph keeps its historical shape
+// for existing callers and delegates to Answer.
 func (c *Cube) QueryGraph(spec CuboidSpec, values []hierarchy.NodeID) (g *flowgraph.Graph, source *Cell, exact, ok bool) {
-	if cell, found := c.Cell(spec, values); found && cell.Graph != nil && !cell.Redundant {
-		return cell.Graph, cell, true, true
+	return legacyAnswer(c.Answer(context.Background(), Query{Op: OpCell, Spec: spec, Values: values}))
+}
+
+// legacyAnswer adapts an Answer to QueryGraph's 4-return shape.
+func legacyAnswer(a *Answer, err error) (*flowgraph.Graph, *Cell, bool, bool) {
+	if err != nil || len(a.Cells) == 0 {
+		return nil, nil, false, false
 	}
-	type ref struct {
-		spec   CuboidSpec
-		values []hierarchy.NodeID
+	ca := a.Cells[0]
+	return ca.Graph, ca.Source, ca.Exact, true
+}
+
+// DropCuboid removes one materialized cuboid from the cube and returns it,
+// or nil when the cuboid is absent. The materialization planner
+// (internal/olap) uses it to prune cuboids whose every cell is exactly
+// reconstructable; RestoreCuboid undoes a drop that fails verification.
+// Like every mutator it must not run on a lazily loaded cube (it returns
+// nil there) or concurrently with readers; servers prune a private cube
+// before publishing it.
+func (c *Cube) DropCuboid(spec CuboidSpec) *Cuboid {
+	if c.lazy != nil {
+		return nil
 	}
-	frontier := []ref{{spec, values}}
-	seen := map[string]bool{spec.Key() + "|" + cellKey(values): true}
-	for len(frontier) > 0 {
-		var next []ref
-		for _, r := range frontier {
-			for _, p := range c.ParentRefs(r.spec, r.values) {
-				k := p.Spec.Key() + "|" + cellKey(p.Values)
-				if seen[k] {
-					continue
-				}
-				seen[k] = true
-				if cell, found := c.Cell(p.Spec, p.Values); found && cell.Graph != nil && !cell.Redundant {
-					return cell.Graph, cell, false, true
-				}
-				next = append(next, ref{p.Spec, p.Values})
-			}
-		}
-		frontier = next
+	key := spec.Key()
+	cb := c.Cuboids[key]
+	if cb == nil {
+		return nil
 	}
-	return nil, nil, false, false
+	delete(c.Cuboids, key)
+	return cb
+}
+
+// RestoreCuboid re-registers a cuboid returned by DropCuboid. A nil cuboid
+// is ignored; lazily loaded cubes are refused like DropCuboid.
+func (c *Cube) RestoreCuboid(cb *Cuboid) {
+	if cb == nil || c.lazy != nil {
+		return
+	}
+	c.Cuboids[cb.Spec.Key()] = cb
 }

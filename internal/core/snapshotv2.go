@@ -489,23 +489,32 @@ func encodeCuboidV2(cb *Cuboid) []byte {
 	cells := cb.SortedCells()
 	buf = binary.AppendUvarint(buf, uint64(len(cells)))
 	for _, cell := range cells {
-		buf = binary.AppendUvarint(buf, uint64(len(cell.Values)))
-		for _, v := range cell.Values {
-			buf = binary.AppendUvarint(buf, uint64(uint32(v)))
-		}
-		buf = binary.AppendVarint(buf, cell.Count)
-		var flags byte
-		if cell.Redundant {
-			flags |= 1
-		}
-		if cell.Graph != nil {
-			flags |= 2
-		}
-		buf = append(buf, flags)
-		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(cell.Similarity))
-		if cell.Graph != nil {
-			buf = appendFlatGraph(buf, flowgraph.Flatten(cell.Graph))
-		}
+		buf = appendCellV2(buf, cell)
+	}
+	return buf
+}
+
+// appendCellV2 appends one cell's snapshot encoding: values, count, flags,
+// similarity, and the flat flowgraph. It is the unit CellDigest hashes, so
+// "byte-identical to what eager Build would have materialized" (the OLAP
+// computed-cell contract) is stated against exactly the bytes Save writes.
+func appendCellV2(buf []byte, cell *Cell) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(cell.Values)))
+	for _, v := range cell.Values {
+		buf = binary.AppendUvarint(buf, uint64(uint32(v)))
+	}
+	buf = binary.AppendVarint(buf, cell.Count)
+	var flags byte
+	if cell.Redundant {
+		flags |= 1
+	}
+	if cell.Graph != nil {
+		flags |= 2
+	}
+	buf = append(buf, flags)
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(cell.Similarity))
+	if cell.Graph != nil {
+		buf = appendFlatGraph(buf, flowgraph.Flatten(cell.Graph))
 	}
 	return buf
 }

@@ -11,6 +11,13 @@ import (
 // ErrClosed is returned by Submit and Exec after Close.
 var ErrClosed = errors.New("ingest: committer closed")
 
+// ErrQueueFull is returned by Submit when Config.MaxPending appends are
+// already waiting: the batch was NOT accepted and the caller should shed
+// load (the HTTP layer maps it to 503 + Retry-After). A batch accepted
+// before the queue filled is unaffected — admission is checked before
+// enqueueing, never after, so overflow can only reject, not drop.
+var ErrQueueFull = errors.New("ingest: committer queue full")
+
 // Pending is one append request waiting for (or resolved by) a group
 // commit. The handler goroutine blocks in Wait; the commit loop resolves it
 // from the apply callback.
@@ -65,6 +72,12 @@ type Config struct {
 	// every batch folds alone, the serialized baseline the ingest bench
 	// compares against.
 	GroupLimit int
+	// MaxPending bounds the number of append requests waiting in the
+	// queue: Submit returns ErrQueueFull instead of enqueueing the
+	// (MaxPending+1)th. 0 or negative means unbounded, the historical
+	// behavior — under a sustained overload the queue (and the handler
+	// goroutines parked in Wait) would otherwise grow without limit.
+	MaxPending int
 	// Apply folds one commit group. It must Resolve every Pending it is
 	// given (unresolved ones are failed by the committer afterwards).
 	// Called from the commit loop, so invocations are serialized.
@@ -94,10 +107,15 @@ type Committer struct {
 
 	cfg Config
 
+	// pending is the number of append requests in the queue, guarded by
+	// mu; Submit rejects when it reaches cfg.MaxPending.
+	pending int
+
 	// stats, guarded by mu
 	groups     uint64
 	requests   uint64
 	execs      uint64
+	rejected   uint64
 	maxGroup   int
 	groupSizes []int // capped histogram sample for p50
 }
@@ -120,7 +138,11 @@ func NewCommitter(cfg Config) *Committer {
 }
 
 // Submit enqueues a parsed batch for the next commit group and returns the
-// Pending the caller should Wait on. After Close it returns ErrClosed.
+// Pending the caller should Wait on. After Close it returns ErrClosed;
+// with Config.MaxPending batches already queued it returns ErrQueueFull
+// without accepting the batch. Admission is decided before enqueueing:
+// once Submit returns a Pending, the batch is queued and will be resolved,
+// whatever later overflow rejects.
 func (c *Committer) Submit(records []pathdb.Record, tag uint64) (*Pending, error) {
 	p := NewPending(records, tag)
 	c.mu.Lock()
@@ -128,6 +150,12 @@ func (c *Committer) Submit(records []pathdb.Record, tag uint64) (*Pending, error
 		c.mu.Unlock()
 		return nil, ErrClosed
 	}
+	if c.cfg.MaxPending > 0 && c.pending >= c.cfg.MaxPending {
+		c.rejected++
+		c.mu.Unlock()
+		return nil, ErrQueueFull
+	}
+	c.pending++
 	c.queue = append(c.queue, item{p: p})
 	c.cond.Signal()
 	c.mu.Unlock()
@@ -201,6 +229,7 @@ func (c *Committer) loop(wg *sync.WaitGroup) {
 			group[i] = c.queue[i].p
 		}
 		c.queue = c.queue[n:]
+		c.pending -= n
 		c.groups++
 		c.requests += uint64(n)
 		if n > c.maxGroup {
@@ -228,6 +257,8 @@ type Stats struct {
 	Requests uint64 `json:"requests"`
 	// Execs is the number of Exec functions run (reloads).
 	Execs uint64 `json:"execs"`
+	// Rejected is the number of Submits refused with ErrQueueFull.
+	Rejected uint64 `json:"rejected"`
 	// QueueDepth is the number of items waiting right now.
 	QueueDepth int `json:"queue_depth"`
 	// GroupP50 and GroupMax summarize commit-group sizes.
@@ -243,6 +274,7 @@ func (c *Committer) Stats() Stats {
 		Groups:     c.groups,
 		Requests:   c.requests,
 		Execs:      c.execs,
+		Rejected:   c.rejected,
 		QueueDepth: len(c.queue),
 		GroupMax:   c.maxGroup,
 	}

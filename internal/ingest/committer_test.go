@@ -58,6 +58,77 @@ func TestCommitterResolvesEveryRequest(t *testing.T) {
 	}
 }
 
+// TestCommitterMaxPendingNeverDropsAcked fills the queue to MaxPending
+// behind a stalled commit, overflows it, and checks the two halves of the
+// admission contract: overflow Submits fail with ErrQueueFull without being
+// queued, and every Submit that returned a Pending (the ack) resolves with
+// its batch applied once the stall clears — rejection can never reach back
+// and drop an accepted batch.
+func TestCommitterMaxPendingNeverDropsAcked(t *testing.T) {
+	ex := paperex.New()
+	rec := ex.DB.Records[0]
+	const maxPending = 4
+	started := make(chan struct{})
+	gate := make(chan struct{})
+	var startedOnce sync.Once
+	var applied atomic.Int64
+	c := NewCommitter(Config{
+		GroupLimit: 1,
+		MaxPending: maxPending,
+		Apply: func(group []*Pending) {
+			startedOnce.Do(func() { close(started) })
+			<-gate
+			for _, p := range group {
+				applied.Add(1)
+				p.Resolve(len(p.Records), nil)
+			}
+		},
+	})
+	defer c.Close()
+
+	// First batch: dequeued by the loop, which then stalls in Apply.
+	first, err := c.Submit([]pathdb.Record{rec}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	acked := []*Pending{first}
+	for i := 0; i < maxPending; i++ {
+		p, err := c.Submit([]pathdb.Record{rec}, 1)
+		if err != nil {
+			t.Fatalf("Submit %d within MaxPending: %v", i, err)
+		}
+		acked = append(acked, p)
+	}
+	const overflow = 3
+	for i := 0; i < overflow; i++ {
+		if _, err := c.Submit([]pathdb.Record{rec}, 1); !errors.Is(err, ErrQueueFull) {
+			t.Fatalf("Submit over MaxPending: err = %v, want ErrQueueFull", err)
+		}
+	}
+
+	close(gate)
+	for i, p := range acked {
+		resp, err := p.Wait()
+		if err != nil {
+			t.Fatalf("acked batch %d failed: %v", i, err)
+		}
+		if resp.(int) != 1 {
+			t.Fatalf("acked batch %d resolved %v, want 1", i, resp)
+		}
+	}
+	if got := applied.Load(); got != int64(len(acked)) {
+		t.Fatalf("applied %d batches, want %d", got, len(acked))
+	}
+	st := c.Stats()
+	if st.Rejected != overflow {
+		t.Fatalf("Stats.Rejected = %d, want %d", st.Rejected, overflow)
+	}
+	if st.Requests != uint64(len(acked)) {
+		t.Fatalf("Stats.Requests = %d, want %d", st.Requests, len(acked))
+	}
+}
+
 // TestCommitterGroupsUnderContention blocks the loop on a first commit so a
 // backlog builds, then checks the backlog folds as groups, not singletons.
 func TestCommitterGroupsUnderContention(t *testing.T) {

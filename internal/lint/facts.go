@@ -345,26 +345,51 @@ func dedupSorted(s []string) []string {
 }
 
 // isCtxWrapper recognizes the sanctioned context-less convenience wrapper:
-// a body that is exactly one statement forwarding to a callee whose name
-// contains "Context".
+// a body that is exactly one statement forwarding to a context-carrying
+// callee — one whose name contains "Context" (Load → LoadContext), or one
+// whose first parameter is a context.Context (QueryGraph → Answer). The
+// forwarding call may sit under an adapter (legacy shapes wrapping the new
+// entry point), so every call within the single statement is considered.
 func isCtxWrapper(pkg *Package, fn *ast.FuncDecl) bool {
 	if fn.Body == nil || len(fn.Body.List) != 1 {
 		return false
 	}
-	var call *ast.CallExpr
-	switch st := fn.Body.List[0].(type) {
-	case *ast.ReturnStmt:
-		if len(st.Results) == 1 {
-			call, _ = ast.Unparen(st.Results[0]).(*ast.CallExpr)
-		}
-	case *ast.ExprStmt:
-		call, _ = ast.Unparen(st.X).(*ast.CallExpr)
-	}
-	if call == nil {
+	switch fn.Body.List[0].(type) {
+	case *ast.ReturnStmt, *ast.ExprStmt:
+	default:
 		return false
 	}
-	obj := calleeObj(pkg.Info, call)
-	return obj != nil && strings.Contains(obj.Name(), "Context")
+	wrapper := false
+	ast.Inspect(fn.Body.List[0], func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		obj := calleeObj(pkg.Info, call)
+		if obj == nil {
+			return true
+		}
+		if strings.Contains(obj.Name(), "Context") || firstParamIsCtx(obj) {
+			wrapper = true
+		}
+		return true
+	})
+	return wrapper
+}
+
+// firstParamIsCtx reports whether obj is a function whose first parameter
+// is a context.Context.
+func firstParamIsCtx(obj types.Object) bool {
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok || sig.Params().Len() == 0 {
+		return false
+	}
+	named := namedOf(sig.Params().At(0).Type())
+	if named == nil {
+		return false
+	}
+	o := named.Obj()
+	return o.Pkg() != nil && o.Pkg().Path() == "context" && o.Name() == "Context"
 }
 
 // walk visits one statement/expression tree. counting is true while the

@@ -19,9 +19,11 @@ import (
 // operations: build.go (Build, populate, exception mining), append.go
 // (incremental Append), persist.go and snapshotv2.go (the v1 and v2
 // snapshot decoders reconstruct a cube), query.go (MarkRedundancy,
-// Compress — documented as must-not-run-concurrently), and conds.go
-// (the condition cache, written only on cubes the writer owns
-// exclusively: during build or by incr's delta maintenance on a clone).
+// Compress, DropCuboid — documented as must-not-run-concurrently),
+// answer.go (whose reconstructed cells are freshly allocated per query and
+// never part of the shared cube), and conds.go (the condition cache,
+// written only on cubes the writer owns exclusively: during build or by
+// incr's delta maintenance on a clone).
 //
 // Detected write forms: field assignment (cell.Count = n, cell.Count++),
 // writes through field-held maps and slices (cb.Cells[k] = v,
@@ -43,6 +45,7 @@ var immutAllowedFiles = map[string]map[string]bool{
 		"snapshotv2.go": true,
 		"lazyload.go":   true,
 		"query.go":      true,
+		"answer.go":     true,
 		"partition.go":  true,
 		"conds.go":      true,
 	},

@@ -1,0 +1,209 @@
+// Package olap is the query-time algebra layer over partially materialized
+// flowcubes (DESIGN.md §12): it parses the redesigned /v2 query surface
+// into core.Query values, and hosts the cost-based materialization planner
+// that decides which cuboids a snapshot actually needs.
+//
+// The planner inverts the usual materialization question. Instead of asking
+// which cuboids to precompute, Prune starts from a fully materialized cube
+// and drops every cuboid whose cells are exactly reconstructable at query
+// time — certified per cell by a byte-identical snapshot digest against the
+// eager original — as long as the reconstruction stays within a query-cost
+// budget (the number of descendant cells folded per answer). Snapshot size
+// and query latency trade off explicitly: a tight budget keeps more cuboids
+// materialized, a loose one ships smaller snapshots and folds more at read
+// time.
+package olap
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"flowcube/internal/core"
+)
+
+// PlannerConfig parameterizes Prune.
+type PlannerConfig struct {
+	// CostBudget caps the query cost of any computed cell: the number of
+	// descendant cells folded to answer it. A cuboid with any cell whose
+	// reconstruction folds more stays materialized. 0 or negative means
+	// unlimited.
+	CostBudget int
+}
+
+// Drop records one pruned cuboid.
+type Drop struct {
+	// Cuboid is the pruned cuboid's key.
+	Cuboid string `json:"cuboid"`
+	// Cells is how many materialized cells it held.
+	Cells int `json:"cells"`
+	// Bytes is the encoded size of its snapshot section.
+	Bytes int `json:"bytes"`
+	// MaxFold is the widest fold any of its cells needs at query time —
+	// the query cost the budget bounds.
+	MaxFold int `json:"max_fold"`
+}
+
+// PlanResult summarizes one Prune run.
+type PlanResult struct {
+	// Dropped lists the pruned cuboids, largest first.
+	Dropped []Drop `json:"dropped"`
+	// BytesBefore/After sum the encoded cuboid section sizes.
+	BytesBefore int `json:"bytes_before"`
+	BytesAfter  int `json:"bytes_after"`
+	// CuboidsBefore/After and CellsBefore/After census the cube.
+	CuboidsBefore int `json:"cuboids_before"`
+	CuboidsAfter  int `json:"cuboids_after"`
+	CellsBefore   int `json:"cells_before"`
+	CellsAfter    int `json:"cells_after"`
+}
+
+// Prune drops every cuboid of the cube that the query engine can recompute
+// exactly within the cost budget, mutating the cube in place and returning
+// what was dropped. Candidates are tried largest-first (by encoded section
+// size — the bytes a drop saves). A drop survives only if every cell of the
+// cuboid reconstructs byte-identically (core.CellDigest over the v2
+// snapshot encoding, so counts, redundancy marking, similarity bits, and
+// the full flowgraph must all match) from the cuboids still materialized;
+// since a later drop can invalidate an earlier certificate — the census
+// twin or the fold source may itself be pruned — the greedy pass is
+// followed by a re-verification fixpoint that restores any cuboid whose
+// certificate no longer holds.
+//
+// Cells whose flowgraphs carry exceptions never verify: exceptions are
+// holistic (paper Lemma 4.3) and cannot be refolded, the digest covers
+// them, and the planner therefore refuses the cuboid. Like every mutator,
+// Prune must not run on a lazily loaded cube or concurrently with readers;
+// servers prune a private cube before publishing the snapshot.
+func Prune(ctx context.Context, cube *core.Cube, cfg PlannerConfig) (*PlanResult, error) {
+	if _, lazy := cube.LazyStats(); lazy {
+		return nil, fmt.Errorf("olap: prune needs a materialized cube; Materialize first")
+	}
+	specs := cube.MaterializedSpecs()
+	res := &PlanResult{
+		CuboidsBefore: len(specs),
+		CellsBefore:   cube.NumCells(),
+	}
+	type cand struct {
+		spec  core.CuboidSpec
+		bytes int
+	}
+	perItem := map[string]int{}
+	cands := make([]cand, 0, len(specs))
+	for _, s := range specs {
+		perItem[s.Item.Key()]++
+		b := cube.Cuboid(s).EncodedBytes()
+		res.BytesBefore += b
+		cands = append(cands, cand{spec: s, bytes: b})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].bytes != cands[j].bytes {
+			return cands[i].bytes > cands[j].bytes
+		}
+		return cands[i].spec.Key() < cands[j].spec.Key()
+	})
+
+	dropped := map[string]Drop{}
+	aside := map[string]*core.Cuboid{}
+	for _, cd := range cands {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		// The census anchor: reconstruction certifies counts against a
+		// materialized cuboid at the same item level, so the last one of an
+		// item level can never be recomputed.
+		if perItem[cd.spec.Item.Key()] <= 1 {
+			continue
+		}
+		cb := cube.DropCuboid(cd.spec)
+		if cb == nil {
+			continue
+		}
+		maxFold, ok, err := verifyCuboid(ctx, cube, cb, cfg.CostBudget)
+		if err != nil {
+			cube.RestoreCuboid(cb)
+			return nil, err
+		}
+		if !ok {
+			cube.RestoreCuboid(cb)
+			continue
+		}
+		perItem[cd.spec.Item.Key()]--
+		key := cd.spec.Key()
+		dropped[key] = Drop{Cuboid: key, Cells: len(cb.Cells), Bytes: cd.bytes, MaxFold: maxFold}
+		aside[key] = cb
+	}
+
+	for changed := true; changed; {
+		changed = false
+		keys := make([]string, 0, len(dropped))
+		for k := range dropped {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, key := range keys {
+			cb := aside[key]
+			maxFold, ok, err := verifyCuboid(ctx, cube, cb, cfg.CostBudget)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				cube.RestoreCuboid(cb)
+				perItem[cb.Spec.Item.Key()]++
+				delete(dropped, key)
+				delete(aside, key)
+				changed = true
+				continue
+			}
+			d := dropped[key]
+			d.MaxFold = maxFold
+			dropped[key] = d
+		}
+	}
+
+	for _, s := range cube.MaterializedSpecs() {
+		res.BytesAfter += cube.Cuboid(s).EncodedBytes()
+	}
+	res.CuboidsAfter = res.CuboidsBefore - len(dropped)
+	res.CellsAfter = cube.NumCells()
+	for _, d := range dropped {
+		res.Dropped = append(res.Dropped, d)
+	}
+	sort.Slice(res.Dropped, func(i, j int) bool {
+		if res.Dropped[i].Bytes != res.Dropped[j].Bytes {
+			return res.Dropped[i].Bytes > res.Dropped[j].Bytes
+		}
+		return res.Dropped[i].Cuboid < res.Dropped[j].Cuboid
+	})
+	return res, nil
+}
+
+// verifyCuboid checks the exactness certificate for every cell of a
+// dropped cuboid against the cube as it now stands: reconstruction must
+// succeed, stay within the fold budget, and digest byte-identical to the
+// original cell. ok=false means the cuboid must stay materialized; err is
+// reserved for cancellation.
+func verifyCuboid(ctx context.Context, cube *core.Cube, cb *core.Cuboid, budget int) (maxFold int, ok bool, err error) {
+	for _, cell := range cb.SortedCells() {
+		if err := ctx.Err(); err != nil {
+			return 0, false, err
+		}
+		rec, folded, rerr := cube.ReconstructCell(ctx, cb.Spec, cell.Values)
+		if rerr != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return 0, false, cerr
+			}
+			return 0, false, nil
+		}
+		if budget > 0 && len(folded) > budget {
+			return 0, false, nil
+		}
+		if core.CellDigest(rec) != core.CellDigest(cell) {
+			return 0, false, nil
+		}
+		if len(folded) > maxFold {
+			maxFold = len(folded)
+		}
+	}
+	return maxFold, true, nil
+}

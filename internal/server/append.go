@@ -65,6 +65,14 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 
 	p, err := s.committer.Submit(batchDB.Records, snap.SchemaGen)
 	if err != nil {
+		if errors.Is(err, ingest.ErrQueueFull) {
+			// Admission control: the commit queue is at Config.MaxPending.
+			// The batch was not accepted — shed load and invite a retry.
+			w.Header().Set("Retry-After", "1")
+			writeError(w, &httpError{http.StatusServiceUnavailable,
+				"append queue is full; retry after the backlog drains"})
+			return
+		}
 		// ErrClosed: the server is draining for shutdown.
 		writeError(w, &httpError{http.StatusServiceUnavailable, "server is shutting down"})
 		return

@@ -1,0 +1,121 @@
+package server
+
+import (
+	"encoding/json"
+	"flag"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+// The golden-response suite pins the /v1 read API byte-for-byte: the v2
+// query surface (Answer, /v2/query) must not perturb a single byte of the
+// responses existing clients parse, and the cluster router's parity
+// contract is stated against these same bodies. Regenerate deliberately
+// with:
+//
+//	go test ./internal/server -run Golden -update-golden
+//
+// and review the diff like any other API change.
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden_v1.json from live responses")
+
+// goldenURLs is the pinned request set: exact hits, roll-up inference,
+// dot rendering, census endpoints, and the documented error shapes.
+var goldenURLs = []string{
+	"/v1/cell?cell=product=shoes,brand=nike&pathlevel=0",
+	"/v1/cell?cell=product=shoes,brand=nike&pathlevel=1",
+	"/v1/cell?cell=&pathlevel=0",
+	"/v1/cell?cell=product=sandals,brand=nike&pathlevel=0",
+	"/v1/cell?cell=product=outerwear&pathlevel=1",
+	"/v1/cell?cell=product=shoes,brand=nike&pathlevel=0&format=dot",
+	"/v1/cell?cell=product=bogus&pathlevel=0",
+	"/v1/cell?cell=product=shoes&pathlevel=9",
+	"/v1/cell?cell=product=shoes&format=yaml",
+	"/v1/summary",
+	"/v1/exceptions?k=5",
+	"/v1/cuboids",
+}
+
+// goldenEntry is one recorded response.
+type goldenEntry struct {
+	URL         string `json:"url"`
+	Status      int    `json:"status"`
+	ContentType string `json:"content_type"`
+	Body        string `json:"body"`
+}
+
+// loadedAtRe erases the only nondeterministic field of the census bodies;
+// everything else must match exactly.
+var loadedAtRe = regexp.MustCompile(`"loaded_at": "[^"]*"`)
+
+func recordGolden(t *testing.T, h http.Handler) []goldenEntry {
+	t.Helper()
+	out := make([]goldenEntry, 0, len(goldenURLs))
+	for _, u := range goldenURLs {
+		req := httptest.NewRequest(http.MethodGet, u, nil)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		body := loadedAtRe.ReplaceAllString(rec.Body.String(), `"loaded_at": "<pinned>"`)
+		out = append(out, goldenEntry{
+			URL:         u,
+			Status:      rec.Code,
+			ContentType: rec.Header().Get("Content-Type"),
+			Body:        body,
+		})
+	}
+	return out
+}
+
+func TestGoldenV1Responses(t *testing.T) {
+	_, cube := buildExampleCube(t)
+	s := newTestServer(t, cube, quietConfig())
+	got := recordGolden(t, s.Handler())
+
+	path := filepath.Join("testdata", "golden_v1.json")
+	if *updateGolden {
+		blob, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d responses)", path, len(got))
+		return
+	}
+
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden fixture (regenerate with -update-golden): %v", err)
+	}
+	var want []goldenEntry
+	if err := json.Unmarshal(blob, &want); err != nil {
+		t.Fatalf("parse golden fixture: %v", err)
+	}
+	if len(want) != len(got) {
+		t.Fatalf("golden fixture has %d responses, live suite produced %d; regenerate with -update-golden", len(want), len(got))
+	}
+	for i, w := range want {
+		g := got[i]
+		if g.URL != w.URL {
+			t.Errorf("request %d: url %q, fixture has %q", i, g.URL, w.URL)
+			continue
+		}
+		if g.Status != w.Status {
+			t.Errorf("GET %s: status %d, golden %d", w.URL, g.Status, w.Status)
+		}
+		if g.ContentType != w.ContentType {
+			t.Errorf("GET %s: content type %q, golden %q", w.URL, g.ContentType, w.ContentType)
+		}
+		if g.Body != w.Body {
+			t.Errorf("GET %s: body diverged from golden fixture\ngot:\n%s\nwant:\n%s", w.URL, g.Body, w.Body)
+		}
+	}
+}

@@ -1,0 +1,267 @@
+package server
+
+// The v2 query surface: GET /v2/query exposes the OLAP algebra of
+// core.Cube.Answer — roll-up, drill-down, slice, dice, and exact query-time
+// reconstruction of cells the materialization planner dropped — and GET
+// /v2/partial exports one shard's local fold sources for a cell so a
+// cluster router can reconstruct cells whose descendants are scattered
+// across shards (internal/cluster). The response renderers are exported:
+// the router reuses them so routed /v2 bodies look like single-node ones.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+
+	"flowcube/internal/core"
+	"flowcube/internal/hierarchy"
+	"flowcube/internal/olap"
+)
+
+// CellAnswerJSON is one answered cell of a /v2/query response.
+type CellAnswerJSON struct {
+	// Cell and PathLevel identify the requested (or enumerated) cell.
+	Cell      string `json:"cell"`
+	PathLevel int    `json:"path_level"`
+	// Provenance is how the cell was answered: "materialized", "computed"
+	// (reconstructed exactly from materialized descendants), or "ancestor"
+	// (roll-up inference; not exact).
+	Provenance string `json:"provenance"`
+	Exact      bool   `json:"exact"`
+	// SourceCuboid and Source are the cell that answered.
+	SourceCuboid string      `json:"source_cuboid"`
+	Source       CellRefJSON `json:"source"`
+	// Folded lists the descendant cells folded into a computed answer.
+	Folded []FoldedRefJSON `json:"folded,omitempty"`
+	Graph  GraphJSON       `json:"graph"`
+}
+
+// FoldedRefJSON names one descendant cell folded into a computed answer.
+type FoldedRefJSON struct {
+	Cuboid string `json:"cuboid"`
+	Cell   string `json:"cell"`
+}
+
+// QueryResponse is the GET /v2/query JSON body.
+type QueryResponse struct {
+	Op        string           `json:"op"`
+	Cells     []CellAnswerJSON `json:"cells"`
+	Truncated bool             `json:"truncated,omitempty"`
+	Skipped   int              `json:"skipped,omitempty"`
+}
+
+// RenderCellAnswer projects one core.CellAnswer to JSON. Exported for the
+// cluster router, which renders router-side folds with the same shapes.
+func RenderCellAnswer(cube *core.Cube, ca core.CellAnswer) CellAnswerJSON {
+	out := CellAnswerJSON{
+		Cell:         core.FormatCell(cube.Schema, ca.Values),
+		PathLevel:    ca.Spec.PathLevel,
+		Provenance:   ca.Provenance.String(),
+		Exact:        ca.Exact,
+		SourceCuboid: ca.SourceSpec.Key(),
+		Source:       renderCellRef(cube, ca.Source),
+		Graph:        renderGraph(cube.Schema.Location, ca.Graph),
+	}
+	for _, f := range ca.Folded {
+		out.Folded = append(out.Folded, FoldedRefJSON{
+			Cuboid: f.Spec.Key(),
+			Cell:   core.FormatCell(cube.Schema, f.Values),
+		})
+	}
+	return out
+}
+
+// RenderQueryResponse projects a core.Answer to the /v2/query JSON body.
+func RenderQueryResponse(cube *core.Cube, a *core.Answer) QueryResponse {
+	resp := QueryResponse{
+		Op:        a.Query.Op.String(),
+		Cells:     make([]CellAnswerJSON, 0, len(a.Cells)),
+		Truncated: a.Truncated,
+		Skipped:   a.Skipped,
+	}
+	for _, ca := range a.Cells {
+		resp.Cells = append(resp.Cells, RenderCellAnswer(cube, ca))
+	}
+	return resp
+}
+
+// handleQueryV2 answers one OLAP query (see olap.ParseQuery for the
+// parameters). Like /v1/cell, identical queries are answered from the
+// snapshot's LRU cache with single-flight deduplication.
+func (s *Server) handleQueryV2(w http.ResponseWriter, r *http.Request) {
+	snap := s.holder.get()
+	key := "v2|" + r.URL.RawQuery
+	v, hit, err := snap.cache.do(key, func() (*cached, error) {
+		return computeQueryV2(r.Context(), snap.Cube, r.URL.Query())
+	})
+	if err != nil {
+		s.metrics.cacheMisses.Add(1)
+		writeError(w, err)
+		return
+	}
+	if hit {
+		s.metrics.cacheHits.Add(1)
+	} else {
+		s.metrics.cacheMisses.Add(1)
+	}
+	if err := r.Context().Err(); err != nil {
+		return
+	}
+	w.Header().Set("Content-Type", v.contentType)
+	if hit {
+		w.Header().Set("X-Cache", "hit")
+	} else {
+		w.Header().Set("X-Cache", "miss")
+	}
+	w.WriteHeader(v.status)
+	w.Write(v.body) //nolint:errcheck
+}
+
+// computeQueryV2 parses, answers, and renders one /v2/query request; the
+// result is cacheable (errors are not cached).
+func computeQueryV2(ctx context.Context, cube *core.Cube, params url.Values) (*cached, error) {
+	q, err := olap.ParseQuery(cube, params)
+	if err != nil {
+		return nil, &httpError{http.StatusBadRequest, err.Error()}
+	}
+	a, err := cube.Answer(ctx, q)
+	if err != nil {
+		switch {
+		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+			return nil, err
+		case errors.Is(err, core.ErrCellNotFound):
+			// As on /v1: a lazy decode failure masquerades as absence; the
+			// sticky error disambiguates corruption (500) from a 404.
+			if lerr := cube.LazyErr(); lerr != nil {
+				return nil, &httpError{http.StatusInternalServerError, lerr.Error()}
+			}
+			return nil, &httpError{http.StatusNotFound, err.Error()}
+		}
+		return nil, &httpError{http.StatusBadRequest, err.Error()}
+	}
+	body, err := json.MarshalIndent(RenderQueryResponse(cube, a), "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return &cached{status: http.StatusOK, contentType: "application/json", body: body}, nil
+}
+
+// PartialCellJSON is one local fold source: a materialized descendant cell
+// generalizing to the requested cell, with its flowgraph in the portable
+// flat encoding (core.EncodeGraph, base64 over the wire).
+type PartialCellJSON struct {
+	Cell  string `json:"cell"`
+	Count int64  `json:"count"`
+	Graph []byte `json:"graph,omitempty"`
+}
+
+// PartialCuboidJSON groups one descendant cuboid's local fold sources.
+// Unusable marks a cuboid holding a matching cell without a flowgraph
+// (compressed away): no fold through it can be exact, on any shard.
+type PartialCuboidJSON struct {
+	Cuboid   string            `json:"cuboid"`
+	Unusable bool              `json:"unusable,omitempty"`
+	Cells    []PartialCellJSON `json:"cells,omitempty"`
+}
+
+// PartialResponse is the GET /v2/partial JSON body: everything this shard
+// contributes to reconstructing one cell. Census is the cell's exact path
+// count when a local materialized cuboid shares the item level (the shard
+// owning the cell's values has it; others answer -1). Descendants lists, in
+// this shard's DescendantSpecs order — identical on every shard, since the
+// cuboid lattice is replicated — the local cells of each materialized
+// descendant cuboid that generalize to the requested cell. The router sums
+// each cuboid's counts across shards and folds the first whose total
+// matches the census: the same certificate core.ReconstructCell applies
+// locally, so a scattered fold is either exact or refused.
+// Materialized reports whether the requested cuboid itself is materialized
+// in this shard's snapshot (the cuboid lattice is replicated, so every shard
+// answers alike): when it is, the single-node compute gate would not fire —
+// an absent cell there means sub-δ or compressed, answered by ancestors —
+// and the router must not reconstruct either.
+type PartialResponse struct {
+	Cuboid       string              `json:"cuboid"`
+	Cell         string              `json:"cell"`
+	Materialized bool                `json:"materialized"`
+	Census       int64               `json:"census"`
+	Descendants  []PartialCuboidJSON `json:"descendants,omitempty"`
+}
+
+// handlePartial serves a shard's local fold sources for one cell
+// (GET /v2/partial?cell=...&pathlevel=N). Parameter validation mirrors
+// /v1/cell so router-relayed errors stay consistent.
+func (s *Server) handlePartial(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	cellSpec := q.Get("cell")
+	pathLevel := 0
+	if pl := q.Get("pathlevel"); pl != "" {
+		n, err := strconv.Atoi(pl)
+		if err != nil {
+			writeError(w, &httpError{http.StatusBadRequest, fmt.Sprintf("bad pathlevel %q", pl)})
+			return
+		}
+		pathLevel = n
+	}
+	snap := s.holder.get()
+	cube := snap.Cube
+	il, values, err := core.ParseCellSpec(cube.Schema, cellSpec)
+	if err != nil {
+		writeError(w, &httpError{http.StatusBadRequest, err.Error()})
+		return
+	}
+	if pathLevel < 0 || pathLevel >= len(cube.Symbols.PathLevels()) {
+		writeError(w, &httpError{http.StatusBadRequest,
+			fmt.Sprintf("pathlevel %d out of range, cube has %d path levels", pathLevel, len(cube.Symbols.PathLevels()))})
+		return
+	}
+	spec := core.CuboidSpec{Item: il, PathLevel: pathLevel}
+	resp := renderPartial(cube, spec, values)
+	if !checkLazy(w, snap) {
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// renderPartial collects the shard-local reconstruction inputs for one cell.
+func renderPartial(cube *core.Cube, spec core.CuboidSpec, values []hierarchy.NodeID) PartialResponse {
+	resp := PartialResponse{
+		Cuboid:       spec.Key(),
+		Cell:         core.FormatCell(cube.Schema, values),
+		Materialized: cube.Cuboid(spec) != nil,
+		Census:       -1,
+	}
+	if n, ok := cube.CensusCount(spec, values); ok {
+		resp.Census = n
+	}
+	target := core.CellKey(values)
+	for _, ds := range cube.DescendantSpecs(spec) {
+		cb := cube.Cuboid(ds)
+		if cb == nil {
+			continue
+		}
+		pc := PartialCuboidJSON{Cuboid: ds.Key()}
+		for _, cell := range cb.SortedCells() {
+			if core.CellKey(cube.GeneralizeValues(ds.Item, spec.Item, cell.Values)) != target {
+				continue
+			}
+			if cell.Graph == nil {
+				pc.Unusable = true
+				pc.Cells = nil
+				break
+			}
+			pc.Cells = append(pc.Cells, PartialCellJSON{
+				Cell:  core.FormatCell(cube.Schema, cell.Values),
+				Count: cell.Count,
+				Graph: core.EncodeGraph(cell.Graph),
+			})
+		}
+		if pc.Unusable || len(pc.Cells) > 0 {
+			resp.Descendants = append(resp.Descendants, pc)
+		}
+	}
+	return resp
+}

@@ -7,7 +7,12 @@
 // Endpoints:
 //
 //	GET  /v1/cell?cell=dim=concept,...&pathlevel=N[&format=dot]  flowgraph
-//	     query with roll-up inference (core.Cube.QueryGraph)
+//	     query with roll-up inference (core.Cube.Answer, OpCell)
+//	GET  /v2/query        OLAP algebra: op=cell|rollup|drilldown|slice|dice
+//	     with typed provenance; cells the materialization planner dropped
+//	     are reconstructed exactly at query time (core.Cube.Answer)
+//	GET  /v2/partial      one shard's local fold sources for a cell, used
+//	     by the cluster router to reconstruct across shards
 //	GET  /v1/summary      cuboid/cell census of the serving snapshot
 //	GET  /v1/exceptions   most severe exceptions across the cube
 //	GET  /v1/cuboids      full materialized-cuboid census (schemas + counts)
@@ -74,6 +79,14 @@ type Config struct {
 	// default (64); 1 serializes appends, the baseline flowbench -ingest
 	// compares against.
 	GroupLimit int
+	// MaxPending bounds the append commit queue: when MaxPending batches are
+	// already waiting, POST /admin/append answers 503 with a Retry-After
+	// header instead of queueing — a parked handler goroutine per queued
+	// batch is the server's only ingest buffering, so an unbounded queue
+	// under sustained overload grows without limit. 0 or negative means
+	// unbounded, the historical behavior. Batches accepted before the queue
+	// filled always commit and are acknowledged normally.
+	MaxPending int
 }
 
 // Defaults for Config zero values.
@@ -153,6 +166,7 @@ func NewContext(ctx context.Context, loader Loader, source string, cfg Config) (
 	s.holder.set(snap)
 	s.committer = ingest.NewCommitter(ingest.Config{
 		GroupLimit: cfg.GroupLimit,
+		MaxPending: cfg.MaxPending,
 		Apply:      s.applyGroup,
 	})
 	s.handler = s.routes()
@@ -292,6 +306,8 @@ func (s *Server) routes() http.Handler {
 	mux.Handle("GET /v1/summary", timeout(s.handleSummary))
 	mux.Handle("GET /v1/exceptions", timeout(s.handleExceptions))
 	mux.Handle("GET /v1/cuboids", timeout(s.handleCuboids))
+	mux.Handle("GET /v2/query", timeout(s.handleQueryV2))
+	mux.Handle("GET /v2/partial", timeout(s.handlePartial))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("POST /admin/reload", s.handleReload)
@@ -379,7 +395,7 @@ func (s *Server) handleCell(w http.ResponseWriter, r *http.Request) {
 	snap := s.holder.get()
 	key := format + "|" + strconv.Itoa(pathLevel) + "|" + cellSpec
 	v, hit, err := snap.cache.do(key, func() (*cached, error) {
-		return computeCell(snap.Cube, cellSpec, pathLevel, format)
+		return computeCell(r.Context(), snap.Cube, cellSpec, pathLevel, format)
 	})
 	if err != nil {
 		s.metrics.cacheMisses.Add(1)
@@ -407,8 +423,12 @@ func (s *Server) handleCell(w http.ResponseWriter, r *http.Request) {
 }
 
 // computeCell resolves and renders one cell query; the result is cacheable
-// (errors are not cached).
-func computeCell(cube *core.Cube, cellSpec string, pathLevel int, format string) (*cached, error) {
+// (errors are not cached). The resolution is Cube.Answer's OpCell path: on a
+// fully materialized cube it answers exactly as the old QueryGraph did, and
+// on a planner-pruned cube it reconstructs dropped cells exactly from their
+// materialized descendants, so /v1 responses over a pruned snapshot match
+// the unpruned ones.
+func computeCell(ctx context.Context, cube *core.Cube, cellSpec string, pathLevel int, format string) (*cached, error) {
 	il, values, err := core.ParseCellSpec(cube.Schema, cellSpec)
 	if err != nil {
 		return nil, &httpError{http.StatusBadRequest, err.Error()}
@@ -418,8 +438,11 @@ func computeCell(cube *core.Cube, cellSpec string, pathLevel int, format string)
 			fmt.Sprintf("pathlevel %d out of range, cube has %d path levels", pathLevel, len(cube.Symbols.PathLevels()))}
 	}
 	spec := core.CuboidSpec{Item: il, PathLevel: pathLevel}
-	g, src, exact, ok := cube.QueryGraph(spec, values)
-	if !ok {
+	a, err := cube.Answer(ctx, core.Query{Op: core.OpCell, Spec: spec, Values: values})
+	if err != nil {
+		if !errors.Is(err, core.ErrCellNotFound) {
+			return nil, err
+		}
 		// A lazily loaded cube answers "not found" both for genuinely absent
 		// cells and when the section holding them failed to decode; the
 		// sticky LazyErr disambiguates corruption (500) from absence (404).
@@ -429,6 +452,7 @@ func computeCell(cube *core.Cube, cellSpec string, pathLevel int, format string)
 		return nil, &httpError{http.StatusNotFound,
 			fmt.Sprintf("no materialized cell answers %q (even by roll-up)", cellSpec)}
 	}
+	g, src, exact := a.Cells[0].Graph, a.Cells[0].Source, a.Cells[0].Exact
 	if format == "dot" {
 		name := cellSpec
 		if name == "" {

@@ -56,8 +56,17 @@ echo "== ingest bench smoke =="
 go run ./cmd/flowbench -ingest -scale 0.02 -quiet \
   -ingest-out "$(mktemp -t BENCH_ingest_smoke.XXXXXX.json)"
 
+echo "== olap bench smoke =="
+# Tiny run of the OLAP query-algebra bench: the materialization planner's
+# budget sweep with per-cell digest verification (the bench panics if a
+# reconstructed cell diverges from its eager twin). Scratch output keeps
+# the committed BENCH_olap.json intact.
+go run ./cmd/flowbench -olap -scale 0.02 -quiet \
+  -olap-out "$(mktemp -t BENCH_olap_smoke.XXXXXX.json)"
+
 echo "== fuzz (10s per target) =="
 go test ./internal/core -run '^$' -fuzz FuzzParseCellSpec -fuzztime 10s
+go test ./internal/olap -run '^$' -fuzz FuzzParseQuery -fuzztime 10s
 go test ./internal/core -run '^$' -fuzz FuzzLoadSnapshot -fuzztime 10s -fuzzminimizetime 10x
 go test ./internal/pathdb -run '^$' -fuzz FuzzRead -fuzztime 10s
 go test ./internal/incr -run '^$' -fuzz FuzzApplyDelta -fuzztime 10s
